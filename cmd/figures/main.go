@@ -1,0 +1,53 @@
+// Command figures regenerates the paper's figures as text artifacts.
+//
+// Usage:
+//
+//	figures          # all figures
+//	figures -fig 3   # one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (0 = all)")
+	flag.Parse()
+
+	gens := map[int]func() (string, error){
+		1: figures.Figure1,
+		2: figures.Figure2,
+		3: figures.Figure3,
+		4: func() (string, error) {
+			dir, err := os.MkdirTemp("", "hw-usb-*")
+			if err != nil {
+				return "", err
+			}
+			defer os.RemoveAll(dir)
+			return figures.Figure4(dir)
+		},
+		5: figures.Figure5,
+	}
+	order := []int{1, 2, 3, 4, 5}
+	if *fig != 0 {
+		order = []int{*fig}
+	}
+	for _, n := range order {
+		gen, ok := gens[n]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "no such figure %d\n", n)
+			os.Exit(2)
+		}
+		fmt.Printf("===== Figure %d =====\n", n)
+		out, err := gen()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %d: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

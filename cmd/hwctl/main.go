@@ -1,0 +1,116 @@
+// Command hwctl drives the router's REST control API from the command
+// line: the same calls the graphical interfaces and udev hooks make.
+//
+//	hwctl -api http://127.0.0.1:8077 devices
+//	hwctl -api ... permit 02:aa:00:00:00:01
+//	hwctl -api ... deny 02:aa:00:00:00:01
+//	hwctl -api ... annotate 02:aa:00:00:00:01 "the kid's tablet"
+//	hwctl -api ... policies
+//	hwctl -api ... install-policy policy.json
+//	hwctl -api ... remove-policy kids-facebook
+//	hwctl -api ... insert-key parent-key
+//	hwctl -api ... remove-key parent-key
+//	hwctl -api ... access 02:aa:00:00:00:01
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	api := flag.String("api", "http://127.0.0.1:8077", "control API base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	base := strings.TrimSuffix(*api, "/")
+
+	var err error
+	switch args[0] {
+	case "devices":
+		err = get(base + "/api/devices")
+	case "policies":
+		err = get(base + "/api/policies")
+	case "status":
+		err = get(base + "/api/status")
+	case "permit", "deny":
+		need(args, 2)
+		err = post(base+"/api/devices/"+args[1]+"/"+args[0], nil)
+	case "annotate":
+		need(args, 3)
+		err = post(base+"/api/devices/"+args[1]+"/annotate", []byte(strings.Join(args[2:], " ")))
+	case "access":
+		need(args, 2)
+		err = get(base + "/api/access/" + args[1])
+	case "install-policy":
+		need(args, 2)
+		var data []byte
+		data, err = os.ReadFile(args[1])
+		if err == nil {
+			err = post(base+"/api/policies", data)
+		}
+	case "remove-policy":
+		need(args, 2)
+		err = del(base + "/api/policies/" + args[1])
+	case "insert-key":
+		need(args, 2)
+		err = post(base+"/api/keys/"+args[1]+"/insert", nil)
+	case "remove-key":
+		need(args, 2)
+		err = post(base+"/api/keys/"+args[1]+"/remove", nil)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hwctl:", err)
+		os.Exit(1)
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: hwctl [-api URL] <command> [args]
+commands: status devices permit deny annotate access
+          policies install-policy remove-policy insert-key remove-key`)
+	os.Exit(2)
+}
+
+func get(url string) error { return do(http.MethodGet, url, nil) }
+
+func post(url string, body []byte) error { return do(http.MethodPost, url, body) }
+
+func del(url string) error { return do(http.MethodDelete, url, nil) }
+
+func do(method, url string, body []byte) error {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Println(strings.TrimSpace(string(out)))
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return nil
+}

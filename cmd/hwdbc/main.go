@@ -1,0 +1,61 @@
+// Command hwdbc is a CQL client for the Homework Database's UDP RPC.
+//
+//	hwdbc -addr 127.0.0.1:7654 'SELECT * FROM Flows [ROWS 10]'
+//	hwdbc -addr 127.0.0.1:7654 -subscribe 'SUBSCRIBE SELECT mac, rssi FROM Links [NOW] EVERY 1 SECONDS'
+//
+// With -subscribe the client prints every push until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/hwdb"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7654", "hwdb server address")
+	subscribe := flag.Bool("subscribe", false, "treat the statement as a subscription and stream pushes")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: hwdbc [-addr host:port] [-subscribe] '<CQL>'")
+		os.Exit(2)
+	}
+	stmt := strings.Join(flag.Args(), " ")
+
+	cli, err := hwdb.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	if *subscribe {
+		id, err := cli.Subscribe(stmt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("subscription %d active; ^C to stop", id)
+		for {
+			push, err := cli.WaitPush(time.Minute)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(push.Result.Text())
+			fmt.Println("--")
+		}
+	}
+
+	res, err := cli.Exec(stmt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res == nil {
+		fmt.Println("ok")
+		return
+	}
+	fmt.Print(res.Text())
+}

@@ -1,0 +1,73 @@
+// Command hwlogger demonstrates the paper's persistence pattern: hwdb
+// itself is ephemeral, so "applications subscribe to query results,
+// persisting output as desired". hwlogger subscribes to a CQL query over
+// the UDP RPC and appends every push to a TSV file.
+//
+//	hwlogger -addr 127.0.0.1:7654 -out flows.tsv \
+//	    'SUBSCRIBE SELECT mac, daddr, dport, sum(bytes) AS bytes FROM Flows [RANGE 5 SECONDS] GROUP BY mac, daddr, dport EVERY 5 SECONDS'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/hwdb"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7654", "hwdb server address")
+	out := flag.String("out", "hwdb.tsv", "output file (TSV, appended)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: hwlogger [-addr host:port] [-out file] 'SUBSCRIBE <select> EVERY <n> <unit>'")
+		os.Exit(2)
+	}
+	stmt := strings.Join(flag.Args(), " ")
+
+	cli, err := hwdb.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+	id, err := cli.Subscribe(stmt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	log.Printf("subscription %d -> %s; ^C to stop", id, *out)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	for {
+		select {
+		case <-sig:
+			_ = cli.Unsubscribe(id)
+			return
+		default:
+		}
+		push, err := cli.WaitPush(30 * time.Second)
+		if err != nil {
+			continue // timeout: poll the signal channel again
+		}
+		stamp := time.Now().UTC().Format(time.RFC3339)
+		for _, row := range push.Result.Rows {
+			cells := make([]string, 0, len(row)+1)
+			cells = append(cells, stamp)
+			for _, v := range row {
+				cells = append(cells, v.Text())
+			}
+			if _, err := fmt.Fprintln(f, strings.Join(cells, "\t")); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

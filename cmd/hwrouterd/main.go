@@ -1,0 +1,103 @@
+// Command hwrouterd runs the full Homework router with a simulated home
+// network attached: six devices with a realistic traffic mix, the hwdb
+// UDP RPC for measurement subscribers, and the REST control API.
+//
+//	hwrouterd [-api 127.0.0.1:8077] [-duration 30s] [-bw]
+//
+// With -bw it prints the per-device bandwidth view once a second (the
+// Figure-1 display); otherwise it logs the platform's endpoints and idles
+// until the duration elapses (0 = forever).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/ui"
+)
+
+func main() {
+	apiAddr := flag.String("api", "127.0.0.1:0", "control API listen address")
+	duration := flag.Duration("duration", 30*time.Second, "how long to run (0 = forever)")
+	showBW := flag.Bool("bw", false, "print the bandwidth view every second")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.AutoPermit = true
+	rt, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Stop()
+	if err := rt.API.ListenAndServe(*apiAddr); err != nil {
+		log.Fatal(err)
+	}
+
+	devices := []struct {
+		name     string
+		mac      string
+		wireless bool
+		pos      netsim.Pos
+		app      *netsim.App
+	}{
+		{"toms-mac-air", "02:aa:00:00:00:01", true, netsim.Pos{X: 3}, netsim.NewApp(netsim.AppVideo, "youtube.com", 120_000)},
+		{"kids-tablet", "02:aa:00:00:00:02", true, netsim.Pos{X: 6}, netsim.NewApp(netsim.AppWeb, "facebook.com", 40_000)},
+		{"xbox", "02:aa:00:00:00:03", false, netsim.Pos{}, netsim.NewApp(netsim.AppP2P, "tracker.example", 80_000)},
+		{"kitchen-radio", "02:aa:00:00:00:04", true, netsim.Pos{X: 8, Y: 3}, netsim.NewApp(netsim.AppVoIP, "voip.example.com", 12_000)},
+		{"thermostat", "02:aa:00:00:00:05", true, netsim.Pos{X: 10}, netsim.NewApp(netsim.AppIoT, "iot.example.com", 1_000)},
+		{"work-laptop", "02:aa:00:00:00:06", false, netsim.Pos{}, netsim.NewApp(netsim.AppWeb, "bbc.co.uk", 60_000)},
+	}
+	for _, d := range devices {
+		h, err := rt.AddHost(d.name, d.mac, d.wireless, d.pos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rt.JoinHost(h); err != nil {
+			log.Fatal(err)
+		}
+		h.AddApp(d.app)
+		log.Printf("joined %-14s %s -> %s", d.name, d.mac, h.IP())
+	}
+
+	log.Printf("control API: http://%s/api/status", rt.API.Addr())
+	log.Printf("hwdb RPC:    %s (try: hwdbc -addr %s 'SELECT * FROM Flows [ROWS 10]')",
+		rt.HwdbServer.Addr(), rt.HwdbServer.Addr())
+
+	view := ui.NewBandwidthView(rt.DB)
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		// Advance a second of traffic in quarter-second steps.
+		for i := 0; i < 4; i++ {
+			rt.Net.Step(0.25)
+			if err := rt.Settle(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		rt.PollMeasure()
+		if *showBW {
+			out, err := view.Render()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(out)
+		}
+		<-tick.C
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			log.Print("done")
+			os.Exit(0)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Bandwidth-monitor: the Figure-1 scenario as a library consumer would
+// build it — a busy home with six devices, the per-device per-protocol
+// display refreshed once a simulated second, plus a remote hwdb
+// subscription over the UDP RPC (how the paper's iPhone app consumed the
+// measurement plane).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	homework "repro"
+)
+
+func main() {
+	cfg := homework.DefaultConfig()
+	cfg.AutoPermit = true
+	rt, err := homework.NewRouter(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Stop()
+
+	type dev struct {
+		name, mac string
+		wireless  bool
+		pos       homework.Pos
+		app       *homework.App
+	}
+	home := []dev{
+		{"toms-mac-air", "02:aa:00:00:00:01", true, homework.Pos{X: 3}, homework.NewApp(homework.AppVideo, "youtube.com", 120_000)},
+		{"kids-tablet", "02:aa:00:00:00:02", true, homework.Pos{X: 6}, homework.NewApp(homework.AppWeb, "facebook.com", 40_000)},
+		{"xbox", "02:aa:00:00:00:03", false, homework.Pos{}, homework.NewApp(homework.AppP2P, "tracker.example", 80_000)},
+		{"kitchen-radio", "02:aa:00:00:00:04", true, homework.Pos{X: 8, Y: 3}, homework.NewApp(homework.AppVoIP, "voip.example.com", 12_000)},
+		{"thermostat", "02:aa:00:00:00:05", true, homework.Pos{X: 10}, homework.NewApp(homework.AppIoT, "iot.example.com", 1_000)},
+		{"work-laptop", "02:aa:00:00:00:06", false, homework.Pos{}, homework.NewApp(homework.AppWeb, "bbc.co.uk", 60_000)},
+	}
+	for _, d := range home {
+		h, err := rt.AddHost(d.name, d.mac, d.wireless, d.pos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rt.JoinHost(h); err != nil {
+			log.Fatal(err)
+		}
+		h.AddApp(d.app)
+	}
+
+	// A remote visualization subscribes over the UDP RPC, exactly as the
+	// paper's satellite devices did.
+	cli, err := homework.DialDB(rt.HwdbServer.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+	subID, err := cli.Subscribe(
+		"SUBSCRIBE SELECT mac, sum(bytes) AS bytes FROM Flows [RANGE 5 SECONDS] GROUP BY mac EVERY 0.5 SECONDS")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	view := homework.NewBandwidthView(rt.DB)
+	view.Window = 5 * time.Second
+	for second := 1; second <= 5; second++ {
+		for i := 0; i < 4; i++ {
+			rt.Net.Step(0.25)
+			if err := rt.Settle(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		rt.PollMeasure()
+		out, err := view.Render()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- t=%ds ---\n%s\n", second, out)
+	}
+
+	// Show one push received by the remote subscriber.
+	push, err := cli.WaitPush(5 * time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote subscriber (sub %d) received over UDP RPC:\n%s",
+		push.SubID, push.Result.Text())
+	_ = subID
+}

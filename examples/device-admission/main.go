@@ -1,0 +1,87 @@
+// Device-admission: the Figure-3 scenario — unknown devices request
+// leases, appear on the situated control display, and the user drags
+// them into permitted or denied, exercising the REST control API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	homework "repro"
+)
+
+func main() {
+	cfg := homework.DefaultConfig() // AutoPermit off: approval required
+	rt, err := homework.NewRouter(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Stop()
+	if err := rt.API.ListenAndServe("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Three unknown devices send DHCP DISCOVERs; with no operator
+	// decision yet they stay pending (no lease).
+	var hosts []*homework.Host
+	for i, name := range []string{"new-phone", "smart-tv", "neighbours-laptop"} {
+		mac := fmt.Sprintf("02:bb:00:00:00:0%d", i+1)
+		h, err := rt.AddHost(name, mac, true, homework.Pos{X: float64(3 + i)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rt.JoinHost(h); err != nil {
+			log.Fatal(err)
+		}
+		hosts = append(hosts, h)
+	}
+
+	ctl := homework.NewDHCPControl("http://" + rt.API.Addr())
+	out, err := ctl.Render()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("devices detected, awaiting the user:")
+	fmt.Println(out)
+
+	// The user interrogates the first device, annotates it, and drags it
+	// to permitted; the neighbour's laptop goes to denied.
+	if err := ctl.Annotate(hosts[0].MAC.String(), "Sam's new phone"); err != nil {
+		log.Fatal(err)
+	}
+	if err := ctl.DragTo(hosts[0].MAC.String(), "permitted"); err != nil {
+		log.Fatal(err)
+	}
+	if err := ctl.DragTo(hosts[2].MAC.String(), "denied"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The permitted device retries DHCP and now binds; the denied one is
+	// NAKed on its next attempt.
+	for _, h := range []*homework.Host{hosts[0], hosts[2]} {
+		h.StartDHCP()
+		if err := rt.JoinHost(h); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	out, err = ctl.Render()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after the user's drag gestures:")
+	fmt.Println(out)
+	fmt.Printf("new-phone bound: %v (ip %s)\n", hosts[0].Bound(), hosts[0].IP())
+	fmt.Printf("neighbours-laptop denied: %v\n", hosts[2].Denied())
+
+	// Every admission decision also landed in hwdb's Leases table.
+	res, err := rt.DB.Query("SELECT action, mac, hostname FROM Leases")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nLeases events (hwdb):")
+	fmt.Print(res.Text())
+}

@@ -1,0 +1,110 @@
+// Parental-controls: the Figure-4 scenario — "the kids can only use
+// Facebook on weekdays after they've finished their homework" — built
+// with the cartoon policy interface, carried on a USB key, and enforced
+// by the DNS proxy and the datapath.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	homework "repro"
+)
+
+func main() {
+	cfg := homework.DefaultConfig()
+	cfg.AutoPermit = true
+	rt, err := homework.NewRouter(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Stop()
+
+	kid, err := rt.AddHost("kids-tablet", "02:aa:00:00:00:02", true, homework.Pos{X: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.JoinHost(kid); err != nil {
+		log.Fatal(err)
+	}
+	adult, err := rt.AddHost("adult-laptop", "02:aa:00:00:00:03", false, homework.Pos{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.JoinHost(adult); err != nil {
+		log.Fatal(err)
+	}
+
+	// Compose the cartoon and write it onto a "USB stick" (a directory).
+	cartoon := &homework.PolicyCartoon{
+		Name: "kids-facebook",
+		Who:  []homework.CartoonDevice{{Label: "the kids", MAC: kid.MAC.String()}},
+		What: []string{"facebook.com"},
+		WhenDays: []string{
+			"monday", "tuesday", "wednesday", "thursday", "friday",
+		},
+		WhenFrom: "00:00", WhenUntil: "23:59",
+		KeyID: "parent-key",
+	}
+	fmt.Print(cartoon.Render())
+	usbRoot, err := os.MkdirTemp("", "hw-usb-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(usbRoot)
+	if err := cartoon.WriteToUSB(usbRoot + "/usb0"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The udev stand-in notices the key and installs the policy.
+	mon := homework.NewUSBMonitor(usbRoot, rt)
+	if err := mon.Scan(); err != nil {
+		log.Fatal(err)
+	}
+
+	run := func() (kidBytes, adultBytes uint64) {
+		kidApp := homework.NewApp(homework.AppWeb, "facebook.com", 20_000)
+		kid.AddApp(kidApp)
+		adultApp := homework.NewApp(homework.AppWeb, "example.com", 20_000)
+		adult.AddApp(adultApp)
+		rxBefore, _, _ := rt.Upstream.Counters()
+		for i := 0; i < 12; i++ {
+			rt.Net.Step(0.25)
+			if err := rt.Settle(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		rxAfter, _, _ := rt.Upstream.Counters()
+		_ = rxBefore
+		_ = rxAfter
+		return kidApp.SentBytes(), adultApp.SentBytes()
+	}
+
+	fmt.Println("key inserted (responsible adult present):")
+	kb, ab := run()
+	acc := rt.Policy.AccessFor(kid.MAC)
+	fmt.Printf("  kid:   %v — sent %d bytes to facebook.com\n", acc.Reason, kb)
+	fmt.Printf("  adult: unrestricted — sent %d bytes\n\n", ab)
+
+	// Pull the key: restrictions apply again.
+	if err := os.RemoveAll(usbRoot + "/usb0"); err != nil {
+		log.Fatal(err)
+	}
+	if err := mon.Scan(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("key removed:")
+	_, denied := rt.Forwarder.Counters()
+	kb, ab = run()
+	_, denied2 := rt.Forwarder.Counters()
+	acc = rt.Policy.AccessFor(kid.MAC)
+	fmt.Printf("  kid:   %v — router denied %d new flow(s)\n", acc.Reason, denied2-denied)
+	fmt.Printf("  adult: unrestricted — sent %d bytes\n", ab)
+	st := rt.DNS.Stats()
+	fmt.Printf("\nDNS proxy: %d queries, %d denied, %d answered\n",
+		st.Queries, st.Denied, st.Answered)
+}

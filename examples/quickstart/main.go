@@ -1,0 +1,64 @@
+// Quickstart: bring up the Homework router, join one device, generate a
+// little web traffic and print what the measurement plane saw.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	homework "repro"
+)
+
+func main() {
+	cfg := homework.DefaultConfig()
+	cfg.AutoPermit = true // no operator in this example
+	rt, err := homework.NewRouter(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Stop()
+
+	// A laptop joins over DHCP. Under the Homework scheme it receives a
+	// /32 lease with the router as gateway and DNS, so every flow it
+	// opens crosses the router's OpenFlow datapath.
+	laptop, err := rt.AddHost("laptop", "02:aa:00:00:00:01", true, homework.Pos{X: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.JoinHost(laptop); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("laptop joined: ip=%s lease=/%d\n", laptop.IP(), laptop.LeaseMask())
+
+	// Browse for a few simulated seconds.
+	laptop.AddApp(homework.NewApp(homework.AppWeb, "example.com", 50_000))
+	for i := 0; i < 16; i++ {
+		rt.Net.Step(0.25)
+		if err := rt.Settle(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rt.PollMeasure()
+
+	// Ask the Homework Database what happened, with the same CQL the
+	// UDP RPC carries.
+	res, err := rt.DB.Query(
+		"SELECT mac, daddr, dport, sum(bytes) AS bytes FROM Flows GROUP BY mac, daddr, dport ORDER BY bytes DESC LIMIT 5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop flows (from hwdb):")
+	fmt.Print(res.Text())
+
+	// And render the Figure-1 display.
+	view := homework.NewBandwidthView(rt.DB)
+	out, err := view.Render()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(out)
+}

@@ -1,0 +1,95 @@
+// Package clock abstracts time so the simulator, the Homework Database and
+// the DHCP/policy modules can run against either the wall clock or a
+// deterministic simulated clock driven by tests and benchmarks.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time and timer channels.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the time after d has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// Now returns time.Now.
+func (Real) Now() time.Time { return time.Now() }
+
+// After defers to time.After.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Simulated is a manually advanced clock. The zero value is not ready; use
+// NewSimulated.
+type Simulated struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers timerHeap
+}
+
+// NewSimulated returns a simulated clock starting at a fixed epoch.
+func NewSimulated() *Simulated {
+	return &Simulated{now: time.Date(2011, time.August, 15, 9, 0, 0, 0, time.UTC)}
+}
+
+// Now returns the simulated current time.
+func (c *Simulated) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that fires when the clock is advanced past d.
+func (c *Simulated) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	heap.Push(&c.timers, &timer{at: c.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward, firing any timers that come due in order.
+func (c *Simulated) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	for len(c.timers) > 0 && !c.timers[0].at.After(target) {
+		t := heap.Pop(&c.timers).(*timer)
+		c.now = t.at
+		select {
+		case t.ch <- t.at:
+		default:
+		}
+	}
+	c.now = target
+	c.mu.Unlock()
+}
+
+type timer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int            { return len(h) }
+func (h timerHeap) Less(i, j int) bool  { return h[i].at.Before(h[j].at) }
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}

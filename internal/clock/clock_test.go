@@ -1,0 +1,75 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimulatedNowAdvances(t *testing.T) {
+	c := NewSimulated()
+	start := c.Now()
+	c.Advance(90 * time.Second)
+	if got := c.Now().Sub(start); got != 90*time.Second {
+		t.Errorf("advanced %v", got)
+	}
+}
+
+func TestSimulatedTimerFires(t *testing.T) {
+	c := NewSimulated()
+	ch := c.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired early")
+	default:
+	}
+	c.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired at 9s")
+	default:
+	}
+	c.Advance(2 * time.Second)
+	select {
+	case at := <-ch:
+		if got := at.Sub(c.Now()); got > 0 {
+			t.Errorf("fired in the future: %v", got)
+		}
+	default:
+		t.Fatal("timer did not fire")
+	}
+}
+
+func TestSimulatedTimersFireInOrder(t *testing.T) {
+	c := NewSimulated()
+	late := c.After(20 * time.Second)
+	early := c.After(5 * time.Second)
+	c.Advance(30 * time.Second)
+	earlyAt := <-early
+	lateAt := <-late
+	if !earlyAt.Before(lateAt) {
+		t.Errorf("early %v, late %v", earlyAt, lateAt)
+	}
+}
+
+func TestSimulatedZeroDelayFiresImmediately(t *testing.T) {
+	c := NewSimulated()
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("zero-delay timer did not fire")
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Real
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Error("Real.Now far in the past")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Error("Real.After never fired")
+	}
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/controlapi"
+	"repro/internal/datapath"
+	"repro/internal/dhcp"
+	"repro/internal/dnsproxy"
+	"repro/internal/hwdb"
+	"repro/internal/measure"
+	"repro/internal/netsim"
+	"repro/internal/nox"
+	"repro/internal/openflow"
+	"repro/internal/packet"
+	"repro/internal/policy"
+)
+
+// Config parameterizes the whole platform.
+type Config struct {
+	// RouterIP/RouterMAC identify the router on the home side.
+	RouterIP  packet.IP4
+	RouterMAC packet.MAC
+	// PoolStart/PoolEnd bound DHCP allocation.
+	PoolStart, PoolEnd packet.IP4
+	// LeaseTime is the DHCP lease duration (default 1h).
+	LeaseTime time.Duration
+	// HostRoutes selects /32 leases (the paper's scheme). Default true.
+	HostRoutes bool
+	// AutoPermit admits devices without operator action (tests/benches).
+	AutoPermit bool
+	// DirectL2 models a conventional switch fabric (only meaningful with
+	// HostRoutes=false; the A1 ablation).
+	DirectL2 bool
+	// RingSize is the hwdb per-table ring capacity.
+	RingSize int
+	// MeasureInterval is the measurement plane poll period.
+	MeasureInterval time.Duration
+	// FlowIdleTimeout shapes installed flows (seconds, default 30).
+	FlowIdleTimeout uint16
+	// Clock drives every time-dependent module (default wall clock).
+	Clock clock.Clock
+	// Seed seeds the wireless model.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used by the examples and the
+// figure harness: a 192.168.1.0/24 home with /32 leases.
+func DefaultConfig() Config {
+	return Config{
+		RouterIP:   packet.MustIP4("192.168.1.1"),
+		RouterMAC:  packet.MustMAC("02:01:00:00:00:01"),
+		PoolStart:  packet.MustIP4("192.168.1.10"),
+		PoolEnd:    packet.MustIP4("192.168.1.250"),
+		LeaseTime:  time.Hour,
+		HostRoutes: true,
+		AutoPermit: false,
+		RingSize:   hwdb.DefaultRingSize,
+		Seed:       1,
+	}
+}
+
+// Router is the assembled Homework platform.
+type Router struct {
+	Config Config
+	Clock  clock.Clock
+
+	DB         *hwdb.DB
+	HwdbServer *hwdb.Server
+	Controller *nox.Controller
+	Datapath   *datapath.Datapath
+	Net        *netsim.Network
+	Upstream   *netsim.Upstream
+	DHCP       *dhcp.Server
+	DNS        *dnsproxy.Proxy
+	Policy     *policy.Engine
+	API        *controlapi.API
+	Forwarder  *Forwarder
+	Measure    *measure.Plane
+
+	sw *nox.Switch
+}
+
+// linkAdapter bridges netsim's LinkInfos to the measurement plane.
+type linkAdapter struct{ net *netsim.Network }
+
+func (l linkAdapter) LinkInfos() []measure.LinkSample {
+	infos := l.net.LinkInfos()
+	out := make([]measure.LinkSample, len(infos))
+	for i, li := range infos {
+		out[i] = measure.LinkSample{MAC: li.MAC, RSSI: li.RSSI, Retries: li.Retries, Rate: li.Rate}
+	}
+	return out
+}
+
+// New assembles a router and its simulated home network. Call Start to
+// bring the control plane up.
+func New(cfg Config) (*Router, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.RingSize == 0 {
+		cfg.RingSize = hwdb.DefaultRingSize
+	}
+	if cfg.MeasureInterval == 0 {
+		cfg.MeasureInterval = time.Second
+	}
+	if cfg.FlowIdleTimeout == 0 {
+		cfg.FlowIdleTimeout = 30
+	}
+	if cfg.LeaseTime == 0 {
+		cfg.LeaseTime = time.Hour
+	}
+
+	r := &Router{Config: cfg, Clock: cfg.Clock}
+	r.DB = hwdb.NewHomework(cfg.Clock, cfg.RingSize)
+	r.Policy = policy.NewEngine(cfg.Clock)
+
+	r.Datapath = datapath.New(datapath.Config{
+		ID: 0x00163e000001, Clock: cfg.Clock,
+		Description: "Homework home router",
+	})
+	r.Net = netsim.New(r.Datapath, netsim.DefaultWireless(cfg.Seed))
+	if cfg.DirectL2 {
+		r.Net.SetDirectL2(true)
+	}
+	r.Upstream = netsim.NewUpstream()
+	r.Upstream.SetLocalNet(cfg.RouterIP, 24)
+	upPort, err := r.Net.AttachUpstream(r.Upstream)
+	if err != nil {
+		return nil, fmt.Errorf("core: attaching upstream: %w", err)
+	}
+	// The WAN port is not part of the home broadcast domain.
+	if p, ok := r.Datapath.Port(upPort); ok {
+		p.Config |= openflow.PortConfigNoFlood
+	}
+
+	r.DHCP = dhcp.NewServer(dhcp.Config{
+		ServerIP: cfg.RouterIP, ServerMAC: cfg.RouterMAC,
+		PoolStart: cfg.PoolStart, PoolEnd: cfg.PoolEnd,
+		LeaseTime: cfg.LeaseTime, HostRoutes: cfg.HostRoutes,
+		AutoPermit: cfg.AutoPermit, Clock: cfg.Clock, DB: r.DB,
+	})
+	r.DNS = dnsproxy.New(dnsproxy.Config{
+		RouterIP: cfg.RouterIP, RouterMAC: cfg.RouterMAC,
+		UpstreamDNS: r.Upstream.DNSAddr, UpstreamPort: upPort,
+		UpstreamMAC: r.Upstream.MAC,
+		Policy:      r.Policy, Clock: cfg.Clock,
+	})
+	r.Forwarder = NewForwarder()
+	r.Forwarder.RouterIP = cfg.RouterIP
+	r.Forwarder.RouterMAC = cfg.RouterMAC
+	r.Forwarder.UpstreamPort = upPort
+	r.Forwarder.UpstreamMAC = r.Upstream.MAC
+	r.Forwarder.DHCP = r.DHCP
+	r.Forwarder.DNS = r.DNS
+	r.Forwarder.Policy = r.Policy
+	r.Forwarder.IdleTimeout = cfg.FlowIdleTimeout
+
+	r.API = controlapi.New(r.DHCP, r.Policy, cfg.RouterIP)
+
+	r.Controller = nox.NewController()
+	// Punted packets must arrive whole: the DHCP payload alone is 300
+	// bytes and the modules parse punts directly.
+	r.Controller.MissSendLen = 0xffff
+	// Registration order is the dispatch order: DHCP and DNS consume
+	// their protocols before the forwarder sees anything.
+	for _, comp := range []nox.Component{r.DHCP, r.DNS, r.API, r.Forwarder} {
+		if err := r.Controller.Register(comp); err != nil {
+			return nil, err
+		}
+	}
+
+	r.Measure = measure.New(measure.Config{
+		DB: r.DB, Clock: cfg.Clock, Interval: cfg.MeasureInterval,
+		Links:      linkAdapter{net: r.Net},
+		Resolver:   r.DHCP,
+		HomePrefix: cfg.RouterIP, HomePrefixLen: 24,
+	})
+	// Expiring flows report their final counters so the interval between
+	// the last poll and the timeout is still accounted.
+	r.Controller.OnFlowRemoved(func(ev *nox.FlowRemovedEvent) {
+		r.Measure.RecordFlowRemoved(&ev.Msg.Match, ev.Msg.PacketCount, ev.Msg.ByteCount)
+	})
+	return r, nil
+}
+
+// Start brings up the controller, connects the datapath over loopback TCP,
+// waits for the join, and starts the hwdb RPC server. The measurement
+// plane is left to the caller (PollMeasure or RunMeasure) so simulated-
+// clock runs stay deterministic.
+func (r *Router) Start() error {
+	joined := make(chan *nox.Switch, 1)
+	r.Controller.OnJoin(func(ev *nox.JoinEvent) {
+		select {
+		case joined <- ev.Switch:
+		default:
+		}
+	})
+	if err := r.Controller.ListenAndServe("127.0.0.1:0"); err != nil {
+		return err
+	}
+	go func() { _ = r.Datapath.ConnectTCP(r.Controller.Addr()) }()
+	select {
+	case sw := <-joined:
+		r.sw = sw
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("core: datapath did not join the controller")
+	}
+
+	r.HwdbServer = hwdb.NewServer(r.DB)
+	if err := r.HwdbServer.Serve("127.0.0.1:0"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Switch returns the controller's handle on the datapath (valid after
+// Start).
+func (r *Router) Switch() *nox.Switch { return r.sw }
+
+// Stop tears the platform down.
+func (r *Router) Stop() {
+	if r.Measure != nil {
+		r.Measure.Stop()
+	}
+	if r.HwdbServer != nil {
+		_ = r.HwdbServer.Close()
+	}
+	if r.API != nil {
+		_ = r.API.Close()
+	}
+	r.Datapath.Stop()
+	_ = r.Controller.Close()
+}
+
+// PollMeasure runs one measurement round (deterministic alternative to the
+// background loop).
+func (r *Router) PollMeasure() { r.Measure.PollOnce(r.sw) }
+
+// RunMeasure starts the periodic measurement loop.
+func (r *Router) RunMeasure() { go r.Measure.Run(r.sw) }
+
+// Settle waits until the controller has processed every packet-in the
+// datapath has punted, then round-trips a barrier so any resulting flow
+// installs are live. It makes traffic injection deterministic for tests,
+// figures and benches.
+func (r *Router) Settle() error {
+	deadline := time.Now().Add(settleWait)
+	for {
+		punted := r.Datapath.PuntCount()
+		done := r.Controller.Processed()
+		if done >= punted {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: control path did not settle (%d punts, %d processed)", punted, done)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if r.sw == nil {
+		return nil
+	}
+	return r.sw.Barrier()
+}
+
+// AddHost adds a simulated device to the home network.
+func (r *Router) AddHost(name, mac string, wireless bool, pos netsim.Pos) (*netsim.Host, error) {
+	m, err := packet.ParseMAC(mac)
+	if err != nil {
+		return nil, err
+	}
+	return r.Net.AddHost(name, m, wireless, pos)
+}
+
+// JoinHost runs a device through DHCP and waits for the verdict: bound,
+// denied, or (when approval is pending) still unbound after the handshake
+// settles.
+func (r *Router) JoinHost(h *netsim.Host) error {
+	h.StartDHCP()
+	if err := r.Settle(); err != nil {
+		return err
+	}
+	// The DHCP exchange is two round trips; like a real client, retry the
+	// DISCOVER if nothing came back (e.g. it raced the punt rules).
+	deadline := time.Now().Add(settleWait)
+	lastRetry := time.Now()
+	for !h.Bound() && !h.Denied() && time.Now().Before(deadline) {
+		if err := r.Settle(); err != nil {
+			return err
+		}
+		if h.Bound() || h.Denied() {
+			break
+		}
+		if r.pendingApproval(h) {
+			return nil // stays pending until the control interface acts
+		}
+		if time.Since(lastRetry) > 250*time.Millisecond {
+			lastRetry = time.Now()
+			h.StartDHCP()
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+func (r *Router) pendingApproval(h *netsim.Host) bool {
+	dev, ok := r.DHCP.Lookup(h.MAC)
+	return ok && dev.State == dhcp.Pending
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dhcp"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/policy"
+)
+
+// startRouter brings up a full platform with auto-permit enabled unless
+// overridden by mutate.
+func startRouter(t *testing.T, mutate func(*Config)) *Router {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.AutoPermit = true
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Stop)
+	return r
+}
+
+// join adds a host and completes DHCP, failing the test if it can't bind.
+func join(t *testing.T, r *Router, name, mac string, wireless bool, pos netsim.Pos) *netsim.Host {
+	t.Helper()
+	h, err := r.AddHost(name, mac, wireless, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.JoinHost(h); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return h.Bound() || h.Denied() })
+	return h
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestDHCPJoinHostRoutes(t *testing.T) {
+	r := startRouter(t, nil)
+	h := join(t, r, "toms-mac-air", "02:aa:00:00:00:01", false, netsim.Pos{})
+	if !h.Bound() {
+		t.Fatal("host did not bind")
+	}
+	if h.IP().IsZero() {
+		t.Fatal("no address")
+	}
+	// The Homework scheme: /32 lease, router as gateway and DNS.
+	if h.LeaseMask() != 32 {
+		t.Errorf("lease mask = /%d, want /32", h.LeaseMask())
+	}
+	// Lease recorded in hwdb.
+	res, err := r.DB.Query("SELECT action, hostname FROM Leases [NOW]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "add" || res.Rows[0][1].Str != "toms-mac-air" {
+		t.Errorf("lease row = %v", res.Rows)
+	}
+}
+
+func TestDHCPPendingThenPermit(t *testing.T) {
+	r := startRouter(t, func(c *Config) { c.AutoPermit = false })
+	h, err := r.AddHost("new-phone", "02:aa:00:00:00:02", true, netsim.Pos{X: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.JoinHost(h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Bound() {
+		t.Fatal("unapproved host bound")
+	}
+	dev, ok := r.DHCP.Lookup(h.MAC)
+	if !ok || dev.State != dhcp.Pending {
+		t.Fatalf("device state = %+v", dev)
+	}
+
+	// The control interface drags the device into "permitted".
+	r.DHCP.Permit(h.MAC)
+	h.StartDHCP()
+	waitFor(t, 5*time.Second, h.Bound)
+	if h.IP().IsZero() {
+		t.Fatal("no lease after permit")
+	}
+}
+
+func TestDHCPDenyGetsNak(t *testing.T) {
+	r := startRouter(t, func(c *Config) { c.AutoPermit = false })
+	h, err := r.AddHost("intruder", "02:aa:00:00:00:03", true, netsim.Pos{X: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.DHCP.Deny(h.MAC)
+	h.StartDHCP()
+	waitFor(t, 5*time.Second, h.Denied)
+	if h.Bound() {
+		t.Fatal("denied host bound")
+	}
+}
+
+func TestEndToEndFlowAndMeasurement(t *testing.T) {
+	r := startRouter(t, nil)
+	h := join(t, r, "laptop", "02:aa:00:00:00:04", false, netsim.Pos{})
+
+	app := netsim.NewApp(netsim.AppWeb, "example.com", 40_000)
+	h.AddApp(app)
+
+	// Let resolution and a few traffic ticks happen.
+	for i := 0; i < 12; i++ {
+		r.Net.Step(0.25)
+		if err := r.Settle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if app.SentBytes() == 0 {
+		t.Fatal("app sent nothing (resolution failed?)")
+	}
+
+	// The upstream saw the traffic.
+	rx, tx, queries := r.Upstream.Counters()
+	if rx == 0 || tx == 0 {
+		t.Fatalf("upstream counters rx=%d tx=%d", rx, tx)
+	}
+	if queries == 0 {
+		t.Fatal("no DNS queries reached the upstream resolver")
+	}
+
+	// Flow entries are in the datapath and visible via measurement.
+	r.PollMeasure()
+	res, err := r.DB.Query("SELECT mac, sum(bytes) AS total FROM Flows GROUP BY mac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no flows measured")
+	}
+	found := false
+	for _, row := range res.Rows {
+		if row[0].MAC() == h.MAC && row[1].AsFloat() > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("laptop's flows not attributed: %v", res.Rows)
+	}
+
+	// Links table fills from the wireless model for wireless stations.
+	res, err = r.DB.Query("SELECT count(*) FROM Links")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// laptop is wired; Links may be empty. Add a wireless station and poll.
+	w := join(t, r, "phone", "02:aa:00:00:00:05", true, netsim.Pos{X: 5, Y: 2})
+	_ = w
+	r.PollMeasure()
+	res, err = r.DB.Query("SELECT mac, rssi FROM Links [NOW]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].Int >= 0 {
+		t.Errorf("links rows = %v", res.Rows)
+	}
+}
+
+func TestIntraHomeTrafficTraversesRouter(t *testing.T) {
+	r := startRouter(t, nil)
+	a := join(t, r, "host-a", "02:aa:00:00:00:06", false, netsim.Pos{})
+	b := join(t, r, "host-b", "02:aa:00:00:00:07", false, netsim.Pos{})
+
+	app := netsim.NewApp(netsim.AppIoT, b.IP().String(), 4_000)
+	a.AddApp(app)
+	for i := 0; i < 8; i++ {
+		r.Net.Step(0.25)
+		if err := r.Settle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// b received frames, and they came through the router (dst MAC
+	// rewritten by the router, src MAC = router MAC).
+	waitFor(t, 5*time.Second, func() bool {
+		frames, _ := b.RxStats()
+		return frames > 0
+	})
+	if r.Net.BypassedFrames() != 0 {
+		t.Errorf("frames bypassed the router under /32: %d", r.Net.BypassedFrames())
+	}
+	// The flow is visible in the datapath table.
+	r.PollMeasure()
+	res, err := r.DB.Query(fmt.Sprintf("SELECT count(*) FROM Flows WHERE daddr = %s", b.IP()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int == 0 {
+		t.Error("intra-home flow not measured")
+	}
+}
+
+func TestAblationDirectL2HidesTraffic(t *testing.T) {
+	r := startRouter(t, func(c *Config) {
+		c.HostRoutes = false // conventional /24 leases
+		c.DirectL2 = true    // hardware-switch fabric
+	})
+	a := join(t, r, "host-a", "02:aa:00:00:00:08", false, netsim.Pos{})
+	b := join(t, r, "host-b", "02:aa:00:00:00:09", false, netsim.Pos{})
+	if a.LeaseMask() != 24 {
+		t.Fatalf("lease mask = /%d, want /24", a.LeaseMask())
+	}
+
+	app := netsim.NewApp(netsim.AppIoT, b.IP().String(), 4_000)
+	a.AddApp(app)
+	for i := 0; i < 8; i++ {
+		r.Net.Step(0.25)
+		if err := r.Settle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool { return r.Net.BypassedFrames() > 0 })
+
+	// The flow never appears in the router's measurements: the paper's
+	// motivating invisibility problem.
+	r.PollMeasure()
+	res, err := r.DB.Query(fmt.Sprintf("SELECT count(*) FROM Flows WHERE daddr = %s", b.IP()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 0 {
+		t.Errorf("direct-L2 flow unexpectedly measured: %v", res.Rows)
+	}
+}
+
+func TestPolicyDeniesAndUSBKeyLifts(t *testing.T) {
+	r := startRouter(t, nil)
+	kid := join(t, r, "kids-tablet", "02:aa:00:00:00:0a", true, netsim.Pos{X: 4})
+	adult := join(t, r, "adult-laptop", "02:aa:00:00:00:0b", false, netsim.Pos{})
+
+	// Figure 4's policy: kids may only use facebook, and only while the
+	// parent's key is inserted.
+	pol := &policy.Policy{
+		Name:         "kids-facebook",
+		Devices:      []string{kid.MAC.String()},
+		AllowedSites: []string{"facebook.com"},
+		RequireKey:   "parent-key",
+	}
+	if err := r.Policy.Install(pol); err != nil {
+		t.Fatal(err)
+	}
+
+	kidFB := netsim.NewApp(netsim.AppWeb, "facebook.com", 20_000)
+	kid.AddApp(kidFB)
+	adultWeb := netsim.NewApp(netsim.AppWeb, "example.com", 20_000)
+	adult.AddApp(adultWeb)
+
+	step := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			r.Net.Step(0.25)
+			if err := r.Settle(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Key out: kid's DNS is refused, so the app cannot even resolve;
+	// adult unaffected.
+	step(10)
+	if kidFB.SentBytes() != 0 {
+		t.Errorf("kid sent %d bytes with key out", kidFB.SentBytes())
+	}
+	if adultWeb.SentBytes() == 0 {
+		t.Error("adult blocked by kid policy")
+	}
+	st := r.DNS.Stats()
+	if st.Denied == 0 {
+		t.Error("no DNS denials recorded")
+	}
+
+	// Key in: facebook resolves and flows pass.
+	r.Policy.InsertKey("parent-key")
+	step(20)
+	if kidFB.SentBytes() == 0 {
+		t.Error("kid still blocked with key inserted")
+	}
+
+	// Other sites remain blocked for the kid even with the key in.
+	kidOther := netsim.NewApp(netsim.AppWeb, "youtube.com", 20_000)
+	kid.AddApp(kidOther)
+	step(10)
+	if kidOther.SentBytes() != 0 {
+		t.Errorf("kid reached non-allowed site: %d bytes", kidOther.SentBytes())
+	}
+
+	// Key removed again: new flows are denied (existing entries flushed).
+	r.Policy.RemoveKey("parent-key")
+	if err := r.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	before := kidFB.SentBytes()
+	sent := r.Upstream
+	_ = sent
+	step(10)
+	// The app keeps "sending" locally but frames must be dropped at the
+	// router: upstream byte growth should come only from the adult. We
+	// check the forwarder recorded fresh denials.
+	_, denied := r.Forwarder.Counters()
+	if denied == 0 {
+		t.Error("no denials after key removal")
+	}
+	_ = before
+}
+
+func TestPingRouter(t *testing.T) {
+	r := startRouter(t, nil)
+	h := join(t, r, "pinger", "02:aa:00:00:00:0c", false, netsim.Pos{})
+	got := make(chan struct{}, 1)
+	h.OnFrame = func(frame []byte) {
+		var d packet.Decoded
+		if err := d.Decode(frame); err == nil && d.HasICMP && d.ICMP.Type == packet.ICMPEchoReply {
+			select {
+			case got <- struct{}{}:
+			default:
+			}
+		}
+	}
+	ping := packet.NewICMPEchoFrame(h.MAC, r.Config.RouterMAC, h.IP(), r.Config.RouterIP,
+		packet.ICMPEchoRequest, 1, 1, []byte("hello"))
+	h.SendRaw(ping.Bytes())
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no echo reply from router")
+	}
+}

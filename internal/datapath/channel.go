@@ -1,0 +1,305 @@
+package datapath
+
+import (
+	"errors"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/openflow"
+)
+
+// Connect attaches the datapath to a controller over conn (typically a TCP
+// connection or a net.Pipe end) and services the secure channel until the
+// connection closes or Stop is called. It performs the OpenFlow handshake
+// (HELLO exchange) and then answers controller requests.
+func (dp *Datapath) Connect(conn net.Conn) error {
+	dp.connMu.Lock()
+	dp.conn = conn
+	dp.connMu.Unlock()
+
+	if err := openflow.WriteMessage(conn, &openflow.Hello{}); err != nil {
+		return err
+	}
+	msg, err := openflow.ReadMessage(conn)
+	if err != nil {
+		return err
+	}
+	if _, ok := msg.(*openflow.Hello); !ok {
+		return errors.New("datapath: handshake: expected HELLO")
+	}
+
+	go dp.expiryLoop()
+
+	for {
+		msg, err := openflow.ReadMessage(conn)
+		if err != nil {
+			dp.connMu.Lock()
+			dp.conn = nil
+			dp.connMu.Unlock()
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		dp.handle(msg)
+	}
+}
+
+// ConnectTCP dials the controller and runs Connect.
+func (dp *Datapath) ConnectTCP(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return dp.Connect(conn)
+}
+
+// Stop closes the secure channel and halts the expiry loop.
+func (dp *Datapath) Stop() {
+	dp.stopMu.Lock()
+	select {
+	case <-dp.stopped:
+	default:
+		close(dp.stopped)
+	}
+	dp.stopMu.Unlock()
+	dp.connMu.Lock()
+	if dp.conn != nil {
+		_ = dp.conn.Close()
+		dp.conn = nil
+	}
+	dp.connMu.Unlock()
+}
+
+// expiryLoop sweeps flow timeouts once a second on the datapath clock.
+func (dp *Datapath) expiryLoop() {
+	for {
+		select {
+		case <-dp.stopped:
+			return
+		case <-dp.clk.After(time.Second):
+		}
+		dp.SweepExpired()
+	}
+}
+
+// SweepExpired removes timed-out flows now and emits flow-removed messages
+// for entries that requested them. Exposed for simulated-clock tests.
+func (dp *Datapath) SweepExpired() int {
+	now := dp.clk.Now()
+	removed, reasons := dp.table.Expire(now)
+	for i, e := range removed {
+		if !e.SendFlowRem {
+			continue
+		}
+		dur := now.Sub(e.Installed)
+		dp.send(&openflow.FlowRemoved{
+			Match: e.Match, Cookie: e.Cookie, Priority: e.Priority,
+			Reason:      reasons[i],
+			DurationSec: uint32(dur / time.Second), DurationNsec: uint32(dur % time.Second),
+			IdleTimeout: e.IdleTimeout,
+			PacketCount: e.Packets, ByteCount: e.Bytes,
+		})
+	}
+	return len(removed)
+}
+
+// handle dispatches one controller-to-switch message.
+func (dp *Datapath) handle(msg openflow.Message) {
+	switch m := msg.(type) {
+	case *openflow.EchoRequest:
+		rep := &openflow.EchoReply{Data: m.Data}
+		rep.Header.XID = m.Header.XID
+		dp.send(rep)
+	case *openflow.EchoReply, *openflow.Hello:
+		// Nothing to do.
+	case *openflow.FeaturesRequest:
+		dp.sendFeatures(m.Header.XID)
+	case *openflow.GetConfigRequest:
+		rep := &openflow.GetConfigReply{Flags: uint16(dp.configFlags.Load()), MissSendLen: uint16(dp.missSendLen.Load())}
+		rep.Header.XID = m.Header.XID
+		dp.send(rep)
+	case *openflow.SetConfig:
+		dp.configFlags.Store(uint32(m.Flags))
+		if m.MissSendLen > 0 {
+			dp.missSendLen.Store(uint32(m.MissSendLen))
+		}
+	case *openflow.FlowMod:
+		dp.handleFlowMod(m)
+	case *openflow.PacketOut:
+		dp.handlePacketOut(m)
+	case *openflow.StatsRequest:
+		dp.handleStats(m)
+	case *openflow.BarrierRequest:
+		// The datapath processes messages synchronously, so every prior
+		// message is already complete.
+		rep := &openflow.BarrierReply{}
+		rep.Header.XID = m.Header.XID
+		dp.send(rep)
+	default:
+		dp.sendError(msg, openflow.ErrTypeBadRequest, openflow.BadRequestBadType)
+	}
+}
+
+func (dp *Datapath) sendFeatures(xid uint32) {
+	rep := &openflow.FeaturesReply{
+		DatapathID:   dp.id,
+		NBuffers:     uint32(dp.nBuffers),
+		NTables:      1,
+		Capabilities: openflow.CapFlowStats | openflow.CapTableStats | openflow.CapPortStats,
+		Actions:      0xfff, // all basic actions
+	}
+	rep.Header.XID = xid
+	for _, p := range dp.Ports() {
+		rep.Ports = append(rep.Ports, phyPort(p))
+	}
+	dp.send(rep)
+}
+
+func (dp *Datapath) sendError(orig openflow.Message, typ, code uint16) {
+	data := openflow.Encode(orig)
+	if len(data) > 64 {
+		data = data[:64]
+	}
+	e := &openflow.ErrorMsg{ErrType: typ, Code: code, Data: data}
+	e.Header.XID = orig.Hdr().XID
+	dp.send(e)
+}
+
+func (dp *Datapath) handleFlowMod(m *openflow.FlowMod) {
+	switch m.Command {
+	case openflow.FlowModAdd:
+		entry := &FlowEntry{
+			Match: m.Match, Priority: m.Priority, Cookie: m.Cookie,
+			IdleTimeout: m.IdleTimeout, HardTimeout: m.HardTimeout,
+			Actions:     m.Actions,
+			SendFlowRem: m.Flags&openflow.FlowModFlagSendFlowRem != 0,
+			Installed:   dp.clk.Now(),
+		}
+		if err := dp.table.Add(entry, m.Flags&openflow.FlowModFlagCheckOverlap != 0); err != nil {
+			dp.sendError(m, openflow.ErrTypeFlowModFailed, openflow.FlowModOverlap)
+			return
+		}
+		// If the flow-mod references a buffered packet, run it through the
+		// new rule immediately.
+		if m.BufferID != openflow.NoBuffer {
+			if frame, inPort, ok := dp.takeBuffer(m.BufferID); ok {
+				dp.execute(inPort, frame, m.Actions)
+			}
+		}
+	case openflow.FlowModModify, openflow.FlowModModifyStrict:
+		strict := m.Command == openflow.FlowModModifyStrict
+		if n := dp.table.Modify(&m.Match, m.Priority, strict, m.Actions); n == 0 {
+			// Per spec, MODIFY with no matching entry behaves like ADD.
+			entry := &FlowEntry{
+				Match: m.Match, Priority: m.Priority, Cookie: m.Cookie,
+				IdleTimeout: m.IdleTimeout, HardTimeout: m.HardTimeout,
+				Actions:     m.Actions,
+				SendFlowRem: m.Flags&openflow.FlowModFlagSendFlowRem != 0,
+				Installed:   dp.clk.Now(),
+			}
+			_ = dp.table.Add(entry, false)
+		}
+	case openflow.FlowModDelete, openflow.FlowModDeleteStrict:
+		strict := m.Command == openflow.FlowModDeleteStrict
+		removed := dp.table.Delete(&m.Match, m.Priority, strict, m.OutPort)
+		now := dp.clk.Now()
+		for _, e := range removed {
+			if !e.SendFlowRem {
+				continue
+			}
+			dur := now.Sub(e.Installed)
+			dp.send(&openflow.FlowRemoved{
+				Match: e.Match, Cookie: e.Cookie, Priority: e.Priority,
+				Reason:      openflow.FlowRemovedDelete,
+				DurationSec: uint32(dur / time.Second),
+				IdleTimeout: e.IdleTimeout,
+				PacketCount: e.Packets, ByteCount: e.Bytes,
+			})
+		}
+	default:
+		dp.sendError(m, openflow.ErrTypeFlowModFailed, openflow.FlowModBadCommand)
+	}
+}
+
+func (dp *Datapath) handlePacketOut(m *openflow.PacketOut) {
+	frame := m.Data
+	inPort := m.InPort
+	if m.BufferID != openflow.NoBuffer {
+		if f, ip, ok := dp.takeBuffer(m.BufferID); ok {
+			frame = f
+			if inPort == openflow.PortNone {
+				inPort = ip
+			}
+		}
+	}
+	if len(frame) == 0 {
+		return
+	}
+	// PortTable in the action list means "run the flow table".
+	for _, a := range m.Actions {
+		if out, ok := a.(*openflow.ActionOutput); ok && out.Port == openflow.PortTable {
+			dp.Receive(inPort, frame)
+			return
+		}
+	}
+	dp.execute(inPort, frame, m.Actions)
+}
+
+func (dp *Datapath) handleStats(m *openflow.StatsRequest) {
+	rep := &openflow.StatsReply{StatsType: m.StatsType}
+	rep.Header.XID = m.Header.XID
+	now := dp.clk.Now()
+	switch m.StatsType {
+	case openflow.StatsDesc:
+		rep.Desc = openflow.DescStats{
+			MfrDesc:   "Homework Project",
+			HWDesc:    "software datapath",
+			SWDesc:    "repro/internal/datapath",
+			SerialNum: "1",
+			DPDesc:    dp.desc,
+		}
+	case openflow.StatsFlow:
+		for _, e := range dp.table.Entries(&m.Flow.Match, m.Flow.OutPort) {
+			dur := now.Sub(e.Installed)
+			rep.Flows = append(rep.Flows, openflow.FlowStats{
+				TableID: 0, Match: e.Match,
+				DurationSec:  uint32(dur / time.Second),
+				DurationNsec: uint32(dur % time.Second),
+				Priority:     e.Priority,
+				IdleTimeout:  e.IdleTimeout, HardTimeout: e.HardTimeout,
+				Cookie:      e.Cookie,
+				PacketCount: e.Packets, ByteCount: e.Bytes,
+				Actions: e.Actions,
+			})
+		}
+	case openflow.StatsAggregate:
+		var agg openflow.AggregateStats
+		for _, e := range dp.table.Entries(&m.Flow.Match, m.Flow.OutPort) {
+			agg.PacketCount += e.Packets
+			agg.ByteCount += e.Bytes
+			agg.FlowCount++
+		}
+		rep.Aggregate = agg
+	case openflow.StatsTable:
+		lookups, matched := dp.table.Counters()
+		rep.Tables = []openflow.TableStats{{
+			TableID: 0, Name: "classifier", Wildcards: openflow.FWAll,
+			MaxEntries:  1 << 20,
+			ActiveCount: uint32(dp.table.Len()),
+			LookupCount: lookups, MatchedCount: matched,
+		}}
+	case openflow.StatsPort:
+		for _, p := range dp.Ports() {
+			if m.Port.PortNo != openflow.PortNone && m.Port.PortNo != p.No {
+				continue
+			}
+			rep.Ports = append(rep.Ports, p.Stats())
+		}
+	default:
+		dp.sendError(m, openflow.ErrTypeBadRequest, openflow.BadRequestBadStat)
+		return
+	}
+	dp.send(rep)
+}

@@ -1,0 +1,347 @@
+package datapath
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/openflow"
+	"repro/internal/packet"
+)
+
+// Port is one switch port. Out delivers frames to whatever the port is
+// attached to (a simulated link, a test harness, the upstream "ISP").
+type Port struct {
+	No     uint16
+	Name   string
+	HWAddr packet.MAC
+	Config uint32 // openflow.PortConfig* bits
+	Out    func(frame []byte)
+
+	mu    sync.Mutex
+	stats openflow.PortStats
+}
+
+// Stats returns a copy of the port counters.
+func (p *Port) Stats() openflow.PortStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.PortNo = p.No
+	return s
+}
+
+func (p *Port) countRx(n int) {
+	p.mu.Lock()
+	p.stats.RxPackets++
+	p.stats.RxBytes += uint64(n)
+	p.mu.Unlock()
+}
+
+func (p *Port) countTx(n int) {
+	p.mu.Lock()
+	p.stats.TxPackets++
+	p.stats.TxBytes += uint64(n)
+	p.mu.Unlock()
+}
+
+// SetOut atomically replaces the port's delivery function (tests and
+// rewiring).
+func (p *Port) SetOut(fn func(frame []byte)) {
+	p.mu.Lock()
+	p.Out = fn
+	p.mu.Unlock()
+}
+
+func (p *Port) out() func(frame []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.Out
+}
+
+// CountRxDrop records a receive-side drop (e.g. wireless loss).
+func (p *Port) CountRxDrop() {
+	p.mu.Lock()
+	p.stats.RxDropped++
+	p.mu.Unlock()
+}
+
+// Config values for NewDatapath.
+type Config struct {
+	ID          uint64
+	Clock       clock.Clock
+	NBuffers    int    // packet-in buffer slots (default 256)
+	MissSendLen uint16 // default 128
+	Description string
+}
+
+// Datapath is the software switch.
+type Datapath struct {
+	id  uint64
+	clk clock.Clock
+
+	mu    sync.RWMutex
+	ports map[uint16]*Port
+	table *FlowTable
+
+	connMu sync.Mutex
+	conn   net.Conn
+
+	bufMu    sync.Mutex
+	buffers  map[uint32][]byte
+	bufPorts map[uint32]uint16
+	nextBuf  uint32
+	nBuffers int
+
+	missSendLen atomic.Uint32
+	configFlags atomic.Uint32
+	desc        string
+	started     time.Time
+
+	stopMu  sync.Mutex
+	stopped chan struct{}
+
+	punts atomic.Uint64
+}
+
+// New creates a datapath with no ports attached.
+func New(cfg Config) *Datapath {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.NBuffers <= 0 {
+		cfg.NBuffers = 256
+	}
+	if cfg.MissSendLen == 0 {
+		cfg.MissSendLen = 128
+	}
+	if cfg.Description == "" {
+		cfg.Description = "Homework soft datapath"
+	}
+	dp := &Datapath{
+		id:       cfg.ID,
+		clk:      cfg.Clock,
+		ports:    make(map[uint16]*Port),
+		table:    NewFlowTable(),
+		buffers:  make(map[uint32][]byte),
+		bufPorts: make(map[uint32]uint16),
+		nBuffers: cfg.NBuffers,
+		desc:     cfg.Description,
+		started:  cfg.Clock.Now(),
+		stopped:  make(chan struct{}),
+	}
+	dp.missSendLen.Store(uint32(cfg.MissSendLen))
+	return dp
+}
+
+// ID returns the datapath identifier.
+func (dp *Datapath) ID() uint64 { return dp.id }
+
+// Table exposes the flow table (used by tests and the figures harness).
+func (dp *Datapath) Table() *FlowTable { return dp.table }
+
+// AddPort attaches a port. Port numbers must be unique and below PortMax.
+func (dp *Datapath) AddPort(p *Port) error {
+	if p.No == 0 || p.No >= openflow.PortMax {
+		return fmt.Errorf("datapath: invalid port number %d", p.No)
+	}
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	if _, dup := dp.ports[p.No]; dup {
+		return fmt.Errorf("datapath: port %d already exists", p.No)
+	}
+	dp.ports[p.No] = p
+	dp.notifyPortStatus(openflow.PortStatusAdd, p)
+	return nil
+}
+
+// RemovePort detaches a port.
+func (dp *Datapath) RemovePort(no uint16) {
+	dp.mu.Lock()
+	p, ok := dp.ports[no]
+	if ok {
+		delete(dp.ports, no)
+	}
+	dp.mu.Unlock()
+	if ok {
+		dp.notifyPortStatus(openflow.PortStatusDelete, p)
+	}
+}
+
+// Port returns a port by number.
+func (dp *Datapath) Port(no uint16) (*Port, bool) {
+	dp.mu.RLock()
+	defer dp.mu.RUnlock()
+	p, ok := dp.ports[no]
+	return p, ok
+}
+
+// Ports returns a snapshot of all ports.
+func (dp *Datapath) Ports() []*Port {
+	dp.mu.RLock()
+	defer dp.mu.RUnlock()
+	out := make([]*Port, 0, len(dp.ports))
+	for _, p := range dp.ports {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Receive processes one frame arriving on a port: the datapath's data-plane
+// entry point. Matching entries forward; a miss punts the frame to the
+// controller as a packet-in (the paper's mechanism for making every new
+// flow visible).
+func (dp *Datapath) Receive(inPort uint16, frame []byte) {
+	p, ok := dp.Port(inPort)
+	if !ok || p.Config&openflow.PortConfigDown != 0 || p.Config&openflow.PortConfigNoRecv != 0 {
+		return
+	}
+	p.countRx(len(frame))
+
+	var d packet.Decoded
+	if err := d.Decode(frame); err != nil {
+		return
+	}
+	entry := dp.table.Lookup(&d, inPort, len(frame), dp.clk.Now())
+	if entry == nil {
+		dp.punt(inPort, frame, openflow.PacketInReasonNoMatch, p, int(dp.missSendLen.Load()))
+		return
+	}
+	dp.execute(inPort, frame, entry.Actions)
+}
+
+// execute runs an action list on a frame in the context of inPort.
+func (dp *Datapath) execute(inPort uint16, frame []byte, actions []openflow.Action) {
+	// An OUTPUT:CONTROLLER action carries its own max_len; honour it (the
+	// DHCP/DNS punt rules ask for the full packet).
+	maxLen := int(dp.missSendLen.Load())
+	for _, a := range actions {
+		if out, ok := a.(*openflow.ActionOutput); ok && out.Port == openflow.PortController && out.MaxLen > 0 {
+			maxLen = int(out.MaxLen)
+		}
+	}
+	out, ports := openflow.ApplyActions(frame, actions)
+	for _, pn := range ports {
+		switch pn {
+		case openflow.PortController:
+			if p, ok := dp.Port(inPort); ok {
+				dp.punt(inPort, out, openflow.PacketInReasonAction, p, maxLen)
+			} else {
+				dp.punt(inPort, out, openflow.PacketInReasonAction, nil, maxLen)
+			}
+		case openflow.PortFlood, openflow.PortAll:
+			dp.flood(inPort, out, pn == openflow.PortAll)
+		case openflow.PortInPort:
+			dp.transmit(inPort, out)
+		case openflow.PortTable, openflow.PortNone:
+			// PortTable is only meaningful for packet-out; ignore here.
+		case openflow.PortNormal:
+			// NORMAL would be the legacy L2 pipeline; the Homework router
+			// never uses it (all forwarding is explicit), so flood instead.
+			dp.flood(inPort, out, false)
+		case openflow.PortLocal:
+			// The local stack is modelled as port LOCAL being absent.
+		default:
+			dp.transmit(pn, out)
+		}
+	}
+}
+
+func (dp *Datapath) transmit(portNo uint16, frame []byte) {
+	p, ok := dp.Port(portNo)
+	if !ok || p.Config&openflow.PortConfigDown != 0 || p.Config&openflow.PortConfigNoFwd != 0 {
+		return
+	}
+	p.countTx(len(frame))
+	if out := p.out(); out != nil {
+		out(frame)
+	}
+}
+
+func (dp *Datapath) flood(inPort uint16, frame []byte, includeNoFlood bool) {
+	for _, p := range dp.Ports() {
+		if p.No == inPort {
+			continue
+		}
+		if !includeNoFlood && p.Config&openflow.PortConfigNoFlood != 0 {
+			continue
+		}
+		dp.transmit(p.No, frame)
+	}
+}
+
+// punt sends a packet-in to the controller, buffering the full frame.
+func (dp *Datapath) punt(inPort uint16, frame []byte, reason uint8, p *Port, maxLen int) {
+	if p != nil && p.Config&openflow.PortConfigNoPacketIn != 0 {
+		return
+	}
+	bufID := dp.buffer(inPort, frame)
+	data := frame
+	if bufID != openflow.NoBuffer && maxLen < len(frame) {
+		data = frame[:maxLen]
+	}
+	msg := &openflow.PacketIn{
+		BufferID: bufID,
+		TotalLen: uint16(len(frame)),
+		InPort:   inPort,
+		Reason:   reason,
+		Data:     append([]byte(nil), data...),
+	}
+	dp.punts.Add(1)
+	dp.send(msg)
+}
+
+// PuntCount returns how many packet-ins have been sent to the controller.
+func (dp *Datapath) PuntCount() uint64 { return dp.punts.Load() }
+
+func (dp *Datapath) buffer(inPort uint16, frame []byte) uint32 {
+	dp.bufMu.Lock()
+	defer dp.bufMu.Unlock()
+	if len(dp.buffers) >= dp.nBuffers {
+		return openflow.NoBuffer
+	}
+	dp.nextBuf++
+	id := dp.nextBuf
+	dp.buffers[id] = append([]byte(nil), frame...)
+	dp.bufPorts[id] = inPort
+	return id
+}
+
+func (dp *Datapath) takeBuffer(id uint32) ([]byte, uint16, bool) {
+	dp.bufMu.Lock()
+	defer dp.bufMu.Unlock()
+	f, ok := dp.buffers[id]
+	if !ok {
+		return nil, 0, false
+	}
+	inPort := dp.bufPorts[id]
+	delete(dp.buffers, id)
+	delete(dp.bufPorts, id)
+	return f, inPort, true
+}
+
+// send writes a message up the secure channel if connected.
+func (dp *Datapath) send(msg openflow.Message) {
+	dp.connMu.Lock()
+	conn := dp.conn
+	if conn != nil {
+		_ = openflow.WriteMessage(conn, msg)
+	}
+	dp.connMu.Unlock()
+}
+
+func (dp *Datapath) notifyPortStatus(reason uint8, p *Port) {
+	dp.send(&openflow.PortStatus{Reason: reason, Desc: phyPort(p)})
+}
+
+func phyPort(p *Port) openflow.PhyPort {
+	return openflow.PhyPort{
+		PortNo: p.No,
+		HWAddr: p.HWAddr,
+		Name:   p.Name,
+		Config: p.Config,
+	}
+}

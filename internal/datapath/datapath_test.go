@@ -1,0 +1,306 @@
+package datapath
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/openflow"
+	"repro/internal/packet"
+)
+
+func tcpFrame(srcLast, dstLast byte, dstPort uint16) []byte {
+	return packet.NewTCPFrame(
+		packet.MAC{2, 0, 0, 0, 0, srcLast}, packet.MAC{2, 0, 0, 0, 0, dstLast},
+		packet.IP4{10, 0, 0, srcLast}, packet.IP4{10, 0, 0, dstLast},
+		40000, dstPort, packet.TCPSyn, 1, nil).Bytes()
+}
+
+func exactMatchFor(t *testing.T, frame []byte, inPort uint16) openflow.Match {
+	t.Helper()
+	var d packet.Decoded
+	if err := d.Decode(frame); err != nil {
+		t.Fatal(err)
+	}
+	return openflow.MatchFromFrame(&d, inPort)
+}
+
+func TestFlowTableExactLookup(t *testing.T) {
+	tbl := NewFlowTable()
+	frame := tcpFrame(1, 2, 80)
+	m := exactMatchFor(t, frame, 1)
+	e := &FlowEntry{Match: m, Priority: 10, Actions: []openflow.Action{&openflow.ActionOutput{Port: 2}}}
+	if err := tbl.Add(e, false); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+
+	var d packet.Decoded
+	if err := d.Decode(frame); err != nil {
+		t.Fatal(err)
+	}
+	got := tbl.Lookup(&d, 1, len(frame), time.Now())
+	if got != e {
+		t.Fatal("exact lookup failed")
+	}
+	if got.Packets != 1 || got.Bytes != uint64(len(frame)) {
+		t.Errorf("counters = %d/%d", got.Packets, got.Bytes)
+	}
+	if tbl.Lookup(&d, 9, len(frame), time.Now()) != nil {
+		t.Error("lookup matched wrong in_port")
+	}
+}
+
+func TestFlowTablePriorityOrder(t *testing.T) {
+	tbl := NewFlowTable()
+	low := openflow.MatchAll()
+	lowE := &FlowEntry{Match: low, Priority: 1, Actions: []openflow.Action{&openflow.ActionOutput{Port: 1}}}
+	_ = tbl.Add(lowE, false)
+
+	dns := openflow.MatchAll()
+	dns.Wildcards &^= openflow.FWDLType | openflow.FWNWProto | openflow.FWTPDst
+	dns.DLType = packet.EtherTypeIPv4
+	dns.NWProto = uint8(packet.ProtoUDP)
+	dns.TPDst = 53
+	dnsE := &FlowEntry{Match: dns, Priority: 100, Actions: []openflow.Action{&openflow.ActionOutput{Port: openflow.PortController}}}
+	_ = tbl.Add(dnsE, false)
+
+	dnsFrame := packet.NewUDPFrame(packet.MAC{1}, packet.MAC{2}, packet.IP4{10, 0, 0, 1}, packet.IP4{8, 8, 8, 8}, 5000, 53, nil).Bytes()
+	var d packet.Decoded
+	_ = d.Decode(dnsFrame)
+	if got := tbl.Lookup(&d, 1, len(dnsFrame), time.Now()); got != dnsE {
+		t.Error("high-priority DNS rule not preferred")
+	}
+
+	web := tcpFrame(1, 2, 80)
+	_ = d.Decode(web)
+	if got := tbl.Lookup(&d, 1, len(web), time.Now()); got != lowE {
+		t.Error("fallback rule not used")
+	}
+}
+
+func TestFlowTableAddReplacesAndResets(t *testing.T) {
+	tbl := NewFlowTable()
+	frame := tcpFrame(1, 2, 80)
+	m := exactMatchFor(t, frame, 1)
+	e1 := &FlowEntry{Match: m, Priority: 5, Actions: []openflow.Action{&openflow.ActionOutput{Port: 2}}}
+	_ = tbl.Add(e1, false)
+	var d packet.Decoded
+	_ = d.Decode(frame)
+	tbl.Lookup(&d, 1, len(frame), time.Now())
+
+	e2 := &FlowEntry{Match: m, Priority: 5, Actions: []openflow.Action{&openflow.ActionOutput{Port: 3}}}
+	_ = tbl.Add(e2, false)
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d after replace", tbl.Len())
+	}
+	got := tbl.Lookup(&d, 1, len(frame), time.Now())
+	if got != e2 || got.Packets != 1 {
+		t.Error("replacement did not reset counters")
+	}
+}
+
+func TestFlowTableOverlapCheck(t *testing.T) {
+	tbl := NewFlowTable()
+	a := openflow.MatchAll()
+	a.Wildcards &^= openflow.FWTPDst
+	a.TPDst = 80
+	_ = tbl.Add(&FlowEntry{Match: a, Priority: 5}, false)
+
+	b := openflow.MatchAll()
+	b.Wildcards &^= openflow.FWNWProto
+	b.NWProto = 6
+	if err := tbl.Add(&FlowEntry{Match: b, Priority: 5}, true); err == nil {
+		t.Error("overlapping add with CHECK_OVERLAP accepted")
+	}
+	if err := tbl.Add(&FlowEntry{Match: b, Priority: 6}, true); err != nil {
+		t.Errorf("different priority should not conflict: %v", err)
+	}
+}
+
+func TestFlowTableDeleteNonStrict(t *testing.T) {
+	tbl := NewFlowTable()
+	for i := byte(1); i <= 3; i++ {
+		frame := tcpFrame(i, 10, 80)
+		m := exactMatchFor(t, frame, uint16(i))
+		_ = tbl.Add(&FlowEntry{Match: m, Priority: 1, Actions: []openflow.Action{&openflow.ActionOutput{Port: 9}}}, false)
+	}
+	all := openflow.MatchAll()
+	removed := tbl.Delete(&all, 0, false, openflow.PortNone)
+	if len(removed) != 3 || tbl.Len() != 0 {
+		t.Errorf("removed %d, len %d", len(removed), tbl.Len())
+	}
+}
+
+func TestFlowTableDeleteByOutPort(t *testing.T) {
+	tbl := NewFlowTable()
+	f1 := tcpFrame(1, 2, 80)
+	f2 := tcpFrame(3, 4, 80)
+	_ = tbl.Add(&FlowEntry{Match: exactMatchFor(t, f1, 1), Priority: 1,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: 7}}}, false)
+	_ = tbl.Add(&FlowEntry{Match: exactMatchFor(t, f2, 1), Priority: 1,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: 8}}}, false)
+	all := openflow.MatchAll()
+	removed := tbl.Delete(&all, 0, false, 7)
+	if len(removed) != 1 || tbl.Len() != 1 {
+		t.Errorf("removed %d, len %d", len(removed), tbl.Len())
+	}
+}
+
+func TestFlowTableExpire(t *testing.T) {
+	tbl := NewFlowTable()
+	base := time.Unix(1000, 0)
+	frame := tcpFrame(1, 2, 80)
+	idle := &FlowEntry{Match: exactMatchFor(t, frame, 1), Priority: 1, IdleTimeout: 10, Installed: base}
+	hard := &FlowEntry{Match: openflow.MatchAll(), Priority: 1, HardTimeout: 60, Installed: base}
+	forever := &FlowEntry{Match: exactMatchFor(t, tcpFrame(5, 6, 22), 2), Priority: 1, Installed: base}
+	_ = tbl.Add(idle, false)
+	_ = tbl.Add(hard, false)
+	_ = tbl.Add(forever, false)
+
+	removed, reasons := tbl.Expire(base.Add(5 * time.Second))
+	if len(removed) != 0 {
+		t.Fatalf("early expiry: %d", len(removed))
+	}
+
+	// Touch the idle entry at t+8s: it should survive until t+18s.
+	var d packet.Decoded
+	_ = d.Decode(frame)
+	tbl.Lookup(&d, 1, len(frame), base.Add(8*time.Second))
+
+	removed, reasons = tbl.Expire(base.Add(17 * time.Second))
+	if len(removed) != 0 {
+		t.Fatalf("idle entry expired despite traffic")
+	}
+	removed, reasons = tbl.Expire(base.Add(19 * time.Second))
+	if len(removed) != 1 || reasons[0] != openflow.FlowRemovedIdleTimeout {
+		t.Fatalf("idle expiry: %d removed", len(removed))
+	}
+	removed, reasons = tbl.Expire(base.Add(61 * time.Second))
+	if len(removed) != 1 || reasons[0] != openflow.FlowRemovedHardTimeout {
+		t.Fatalf("hard expiry: %d removed, reasons %v", len(removed), reasons)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("permanent entry evicted")
+	}
+}
+
+func TestDatapathForwardAndCounters(t *testing.T) {
+	clk := clock.NewSimulated()
+	dp := New(Config{ID: 1, Clock: clk})
+	var got [][]byte
+	_ = dp.AddPort(&Port{No: 1, Name: "wlan0"})
+	_ = dp.AddPort(&Port{No: 2, Name: "eth0", Out: func(f []byte) { got = append(got, f) }})
+
+	frame := tcpFrame(1, 2, 80)
+	m := exactMatchFor(t, frame, 1)
+	_ = dp.Table().Add(&FlowEntry{Match: m, Priority: 1,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: 2}}}, false)
+
+	dp.Receive(1, frame)
+	if len(got) != 1 {
+		t.Fatalf("forwarded %d frames", len(got))
+	}
+	p1, _ := dp.Port(1)
+	p2, _ := dp.Port(2)
+	if p1.Stats().RxPackets != 1 || p2.Stats().TxPackets != 1 {
+		t.Errorf("port counters: rx=%d tx=%d", p1.Stats().RxPackets, p2.Stats().TxPackets)
+	}
+}
+
+func TestDatapathDropOnEmptyActions(t *testing.T) {
+	dp := New(Config{ID: 1})
+	delivered := 0
+	_ = dp.AddPort(&Port{No: 1})
+	_ = dp.AddPort(&Port{No: 2, Out: func([]byte) { delivered++ }})
+	frame := tcpFrame(1, 2, 80)
+	// Empty action list = drop.
+	_ = dp.Table().Add(&FlowEntry{Match: exactMatchFor(t, frame, 1), Priority: 1}, false)
+	dp.Receive(1, frame)
+	if delivered != 0 {
+		t.Error("dropped packet was forwarded")
+	}
+}
+
+func TestDatapathFlood(t *testing.T) {
+	dp := New(Config{ID: 1})
+	counts := map[uint16]int{}
+	for no := uint16(1); no <= 4; no++ {
+		n := no
+		_ = dp.AddPort(&Port{No: n, Out: func([]byte) { counts[n]++ }})
+	}
+	// NoFlood on port 4.
+	p4, _ := dp.Port(4)
+	p4.Config |= openflow.PortConfigNoFlood
+
+	frame := tcpFrame(1, 2, 80)
+	_ = dp.Table().Add(&FlowEntry{Match: openflow.MatchAll(), Priority: 1,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: openflow.PortFlood}}}, false)
+	dp.Receive(1, frame)
+	if counts[1] != 0 || counts[2] != 1 || counts[3] != 1 || counts[4] != 0 {
+		t.Errorf("flood counts = %v", counts)
+	}
+
+	// ALL includes NoFlood ports but still excludes the ingress port.
+	_ = dp.Table().Add(&FlowEntry{Match: openflow.MatchAll(), Priority: 2,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: openflow.PortAll}}}, false)
+	counts = map[uint16]int{}
+	dp.Receive(1, frame)
+	if counts[1] != 0 || counts[4] != 1 {
+		t.Errorf("ALL counts = %v", counts)
+	}
+}
+
+func TestDatapathPortDown(t *testing.T) {
+	dp := New(Config{ID: 1})
+	delivered := 0
+	_ = dp.AddPort(&Port{No: 1})
+	_ = dp.AddPort(&Port{No: 2, Config: openflow.PortConfigDown, Out: func([]byte) { delivered++ }})
+	frame := tcpFrame(1, 2, 80)
+	_ = dp.Table().Add(&FlowEntry{Match: openflow.MatchAll(), Priority: 1,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: 2}}}, false)
+	dp.Receive(1, frame)
+	if delivered != 0 {
+		t.Error("down port transmitted")
+	}
+}
+
+func TestDatapathRejectsBadPorts(t *testing.T) {
+	dp := New(Config{ID: 1})
+	if err := dp.AddPort(&Port{No: 0}); err == nil {
+		t.Error("port 0 accepted")
+	}
+	if err := dp.AddPort(&Port{No: openflow.PortController}); err == nil {
+		t.Error("reserved port number accepted")
+	}
+	_ = dp.AddPort(&Port{No: 1})
+	if err := dp.AddPort(&Port{No: 1}); err == nil {
+		t.Error("duplicate port accepted")
+	}
+}
+
+func BenchmarkLookupExact1kFlows(b *testing.B) {
+	tbl := NewFlowTable()
+	for i := 0; i < 1000; i++ {
+		f := packet.NewTCPFrame(
+			packet.MAC{2, 0, 0, byte(i >> 8), byte(i), 1}, packet.MAC{2, 0, 0, 0, 0, 2},
+			packet.IP4{10, 0, byte(i >> 8), byte(i)}, packet.IP4{10, 0, 0, 2},
+			uint16(1024+i), 80, packet.TCPAck, 0, nil).Bytes()
+		var d packet.Decoded
+		_ = d.Decode(f)
+		_ = tbl.Add(&FlowEntry{Match: openflow.MatchFromFrame(&d, 1), Priority: 1}, false)
+	}
+	frame := packet.NewTCPFrame(
+		packet.MAC{2, 0, 0, 1, 200, 1}, packet.MAC{2, 0, 0, 0, 0, 2},
+		packet.IP4{10, 0, 1, 200}, packet.IP4{10, 0, 0, 2},
+		uint16(1024+456), 80, packet.TCPAck, 0, nil).Bytes()
+	var d packet.Decoded
+	_ = d.Decode(frame)
+	now := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(&d, 1, len(frame), now)
+	}
+}

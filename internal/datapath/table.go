@@ -1,0 +1,317 @@
+// Package datapath implements a software OpenFlow 1.0 switch: the Open
+// vSwitch stand-in at the heart of the Homework router. A Datapath owns a
+// set of ports, a flow table with priority and wildcard matching, and a
+// secure channel to a controller speaking the openflow package's codec.
+package datapath
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/openflow"
+	"repro/internal/packet"
+)
+
+// FlowEntry is one row of the flow table with its counters.
+type FlowEntry struct {
+	Match       openflow.Match
+	Priority    uint16
+	Cookie      uint64
+	IdleTimeout uint16 // seconds; 0 = never
+	HardTimeout uint16 // seconds; 0 = never
+	Actions     []openflow.Action
+	SendFlowRem bool
+
+	Installed time.Time
+	LastUsed  time.Time
+	Packets   uint64
+	Bytes     uint64
+}
+
+// flowKey identifies an entry for strict operations.
+type flowKey struct {
+	match    openflow.Match
+	priority uint16
+}
+
+// FlowTable is a priority-ordered flow table with an exact-match fast path:
+// entries whose match has no wildcards live in a hash map keyed by the
+// canonical match, everything else is scanned in priority order.
+type FlowTable struct {
+	mu    sync.RWMutex
+	exact map[openflow.Match]*FlowEntry
+	wild  []*FlowEntry // sorted by priority descending, stable
+
+	lookups uint64
+	matched uint64
+}
+
+// NewFlowTable returns an empty table.
+func NewFlowTable() *FlowTable {
+	return &FlowTable{exact: make(map[openflow.Match]*FlowEntry)}
+}
+
+// Len returns the number of installed entries.
+func (t *FlowTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.exact) + len(t.wild)
+}
+
+// Counters returns total lookups and matches since creation.
+func (t *FlowTable) Counters() (lookups, matched uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.lookups, t.matched
+}
+
+// Lookup finds the highest-priority entry matching a decoded frame and
+// charges the entry's counters. Exact entries win over wildcarded ones, as
+// in OpenFlow 1.0.
+func (t *FlowTable) Lookup(d *packet.Decoded, inPort uint16, frameLen int, now time.Time) *FlowEntry {
+	key := openflow.MatchFromFrame(d, inPort)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lookups++
+	if e, ok := t.exact[key]; ok {
+		t.matched++
+		e.Packets++
+		e.Bytes += uint64(frameLen)
+		e.LastUsed = now
+		return e
+	}
+	for _, e := range t.wild {
+		if e.Match.Matches(d, inPort) {
+			t.matched++
+			e.Packets++
+			e.Bytes += uint64(frameLen)
+			e.LastUsed = now
+			return e
+		}
+	}
+	return nil
+}
+
+// Add installs an entry, replacing any entry with an identical match and
+// priority (counters reset, per the OpenFlow ADD semantics). When
+// checkOverlap is set, an overlapping entry at the same priority is an
+// error.
+func (t *FlowTable) Add(e *FlowEntry, checkOverlap bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if checkOverlap {
+		for _, o := range t.allLocked() {
+			if o.Priority == e.Priority && overlaps(&o.Match, &e.Match) &&
+				(o.Match != e.Match) {
+				return &openflow.ErrorMsg{ErrType: openflow.ErrTypeFlowModFailed, Code: openflow.FlowModOverlap}
+			}
+		}
+	}
+	t.removeLocked(flowKey{e.Match, e.Priority})
+	if e.Match.IsExact() {
+		t.exact[e.Match] = e
+		return nil
+	}
+	idx := sort.Search(len(t.wild), func(i int) bool { return t.wild[i].Priority < e.Priority })
+	t.wild = append(t.wild, nil)
+	copy(t.wild[idx+1:], t.wild[idx:])
+	t.wild[idx] = e
+	return nil
+}
+
+// overlaps reports whether a single packet could match both a and b: for
+// every field either at least one side wildcards it, or both match the same
+// value (address prefixes must agree on the shared prefix).
+func overlaps(a, b *openflow.Match) bool {
+	type field struct {
+		bit uint32
+		eq  bool
+	}
+	fields := []field{
+		{openflow.FWInPort, a.InPort == b.InPort},
+		{openflow.FWDLSrc, a.DLSrc == b.DLSrc},
+		{openflow.FWDLDst, a.DLDst == b.DLDst},
+		{openflow.FWDLVLAN, a.DLVLAN == b.DLVLAN},
+		{openflow.FWDLVLANPCP, a.DLVLANPCP == b.DLVLANPCP},
+		{openflow.FWDLType, a.DLType == b.DLType},
+		{openflow.FWNWProto, a.NWProto == b.NWProto},
+		{openflow.FWNWTOS, a.NWTOS == b.NWTOS},
+		{openflow.FWTPSrc, a.TPSrc == b.TPSrc},
+		{openflow.FWTPDst, a.TPDst == b.TPDst},
+	}
+	for _, f := range fields {
+		if a.Wildcards&f.bit == 0 && b.Wildcards&f.bit == 0 && !f.eq {
+			return false
+		}
+	}
+	// Address prefixes: the shorter prefix must contain the longer one.
+	wide := func(x, y uint32) int { // longer ignored-bits count = shorter prefix
+		if x > y {
+			return int(x)
+		}
+		return int(y)
+	}
+	if bits := wide(a.NWSrcBits(), b.NWSrcBits()); bits < 32 {
+		if a.NWSrc.Mask(32-bits) != b.NWSrc.Mask(32-bits) {
+			return false
+		}
+	}
+	if bits := wide(a.NWDstBits(), b.NWDstBits()); bits < 32 {
+		if a.NWDst.Mask(32-bits) != b.NWDst.Mask(32-bits) {
+			return false
+		}
+	}
+	return true
+}
+
+// Modify updates the actions of entries matched by m (non-strict: all
+// entries subsumed by m). It reports how many entries were updated.
+func (t *FlowTable) Modify(m *openflow.Match, priority uint16, strict bool, actions []openflow.Action) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, e := range t.allLocked() {
+		if strict {
+			if e.Match != *m || e.Priority != priority {
+				continue
+			}
+		} else if !m.Subsumes(&e.Match) {
+			continue
+		}
+		e.Actions = actions
+		n++
+	}
+	return n
+}
+
+// Delete removes entries matched by m (strict: identical match+priority;
+// non-strict: subsumed by m). outPort, when not PortNone, restricts removal
+// to entries with an output action to that port. Removed entries are
+// returned so the datapath can emit flow-removed messages.
+func (t *FlowTable) Delete(m *openflow.Match, priority uint16, strict bool, outPort uint16) []*FlowEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var removed []*FlowEntry
+	match := func(e *FlowEntry) bool {
+		if strict {
+			if e.Match != *m || e.Priority != priority {
+				return false
+			}
+		} else if !m.Subsumes(&e.Match) {
+			return false
+		}
+		if outPort != openflow.PortNone && !outputsTo(e.Actions, outPort) {
+			return false
+		}
+		return true
+	}
+	for k, e := range t.exact {
+		if match(e) {
+			removed = append(removed, e)
+			delete(t.exact, k)
+		}
+	}
+	kept := t.wild[:0]
+	for _, e := range t.wild {
+		if match(e) {
+			removed = append(removed, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.wild = kept
+	return removed
+}
+
+func outputsTo(actions []openflow.Action, port uint16) bool {
+	for _, a := range actions {
+		if out, ok := a.(*openflow.ActionOutput); ok && out.Port == port {
+			return true
+		}
+		if enq, ok := a.(*openflow.ActionEnqueue); ok && enq.Port == port {
+			return true
+		}
+	}
+	return false
+}
+
+// Expire removes entries whose idle or hard timeout has passed, returning
+// them with the reason for each.
+func (t *FlowTable) Expire(now time.Time) (removed []*FlowEntry, reasons []uint8) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	expired := func(e *FlowEntry) (uint8, bool) {
+		if e.HardTimeout > 0 && now.Sub(e.Installed) >= time.Duration(e.HardTimeout)*time.Second {
+			return openflow.FlowRemovedHardTimeout, true
+		}
+		if e.IdleTimeout > 0 {
+			last := e.LastUsed
+			if last.IsZero() {
+				last = e.Installed
+			}
+			if now.Sub(last) >= time.Duration(e.IdleTimeout)*time.Second {
+				return openflow.FlowRemovedIdleTimeout, true
+			}
+		}
+		return 0, false
+	}
+	for k, e := range t.exact {
+		if reason, ok := expired(e); ok {
+			removed = append(removed, e)
+			reasons = append(reasons, reason)
+			delete(t.exact, k)
+		}
+	}
+	kept := t.wild[:0]
+	for _, e := range t.wild {
+		if reason, ok := expired(e); ok {
+			removed = append(removed, e)
+			reasons = append(reasons, reason)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	t.wild = kept
+	return removed, reasons
+}
+
+// Entries returns a snapshot of all entries matched by m (nil = all),
+// optionally filtered by an output port.
+func (t *FlowTable) Entries(m *openflow.Match, outPort uint16) []*FlowEntry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []*FlowEntry
+	for _, e := range t.allLocked() {
+		if m != nil && !m.Subsumes(&e.Match) {
+			continue
+		}
+		if outPort != openflow.PortNone && !outputsTo(e.Actions, outPort) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func (t *FlowTable) allLocked() []*FlowEntry {
+	all := make([]*FlowEntry, 0, len(t.exact)+len(t.wild))
+	for _, e := range t.exact {
+		all = append(all, e)
+	}
+	all = append(all, t.wild...)
+	return all
+}
+
+func (t *FlowTable) removeLocked(k flowKey) {
+	if e, ok := t.exact[k.match]; ok && e.Priority == k.priority {
+		delete(t.exact, k.match)
+		return
+	}
+	for i, e := range t.wild {
+		if e.Match == k.match && e.Priority == k.priority {
+			t.wild = append(t.wild[:i], t.wild[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,480 @@
+package hwdb
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The UDP RPC protocol. Requests and responses are single datagrams:
+//
+//	request:  "HWDB/1 <seq> <VERB>\n<body>"
+//	response: "HWDB/1 <seq> OK [arg]\n<body>"  or  "HWDB/1 <seq> ERR <msg>\n"
+//
+// Verbs: EXEC (body = one CQL statement; SELECT returns a tabular body),
+// SUBSCRIBE (body = SUBSCRIBE <select> EVERY <n> <unit>; OK arg is the
+// subscription id), UNSUBSCRIBE (body = id) and PING.
+//
+// Subscription pushes are unsolicited datagrams to the subscriber's address:
+//
+//	"HWDB/1 0 PUSH <id>\n<tabular body>"
+//
+// Responses are capped at MaxDatagram; oversize result sets are truncated
+// and flagged with a "TRUNCATED" trailer line so clients can tighten their
+// window or add LIMIT.
+const (
+	rpcMagic = "HWDB/1"
+	// MaxDatagram is the largest datagram the server will send.
+	MaxDatagram = 60000
+)
+
+// Server serves the database over UDP.
+type Server struct {
+	db   *DB
+	conn *net.UDPConn
+
+	mu     sync.Mutex
+	subs   map[uint64]*subscription
+	nextID uint64
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+type subscription struct {
+	id     uint64
+	addr   *net.UDPAddr
+	query  *SelectStmt
+	every  time.Duration
+	cancel chan struct{}
+}
+
+// NewServer creates a server for db. Call Serve to start it.
+func NewServer(db *DB) *Server {
+	return &Server{db: db, subs: make(map[uint64]*subscription)}
+}
+
+// Serve binds addr (e.g. "127.0.0.1:0") and serves until Close.
+func (s *Server) Serve(addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return err
+	}
+	s.conn = conn
+	s.wg.Add(1)
+	go s.loop()
+	return nil
+}
+
+// Addr returns the bound address once Serve has been called.
+func (s *Server) Addr() string {
+	if s.conn == nil {
+		return ""
+	}
+	return s.conn.LocalAddr().String()
+}
+
+// Close stops the server and cancels all subscriptions.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.mu.Lock()
+	for id, sub := range s.subs {
+		close(sub.cancel)
+		delete(s.subs, id)
+	}
+	s.mu.Unlock()
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, addr, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		seq, verb, body, perr := parseRequest(string(buf[:n]))
+		if perr != nil {
+			s.reply(addr, seq, "ERR "+perr.Error(), "")
+			continue
+		}
+		s.dispatch(addr, seq, verb, body)
+	}
+}
+
+func parseRequest(s string) (seq uint64, verb, body string, err error) {
+	nl := strings.IndexByte(s, '\n')
+	header := s
+	if nl >= 0 {
+		header, body = s[:nl], s[nl+1:]
+	}
+	fields := strings.Fields(header)
+	if len(fields) != 3 || fields[0] != rpcMagic {
+		return 0, "", "", fmt.Errorf("bad request header")
+	}
+	seq, err = strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0, "", "", fmt.Errorf("bad sequence number")
+	}
+	return seq, strings.ToUpper(fields[2]), body, nil
+}
+
+func (s *Server) dispatch(addr *net.UDPAddr, seq uint64, verb, body string) {
+	switch verb {
+	case "PING":
+		s.reply(addr, seq, "OK pong", "")
+	case "EXEC":
+		res, err := s.db.Exec(strings.TrimSpace(body))
+		if err != nil {
+			s.reply(addr, seq, "ERR "+err.Error(), "")
+			return
+		}
+		if res == nil {
+			s.reply(addr, seq, "OK 0", "")
+			return
+		}
+		s.reply(addr, seq, fmt.Sprintf("OK %d", len(res.Rows)), res.Text())
+	case "SUBSCRIBE":
+		st, err := Parse(strings.TrimSpace(body))
+		if err != nil {
+			s.reply(addr, seq, "ERR "+err.Error(), "")
+			return
+		}
+		sub, ok := st.(*SubscribeStmt)
+		if !ok {
+			s.reply(addr, seq, "ERR body must be a SUBSCRIBE statement", "")
+			return
+		}
+		id := s.addSubscription(addr, sub)
+		s.reply(addr, seq, fmt.Sprintf("OK %d", id), "")
+	case "UNSUBSCRIBE":
+		id, err := strconv.ParseUint(strings.TrimSpace(body), 10, 64)
+		if err != nil {
+			s.reply(addr, seq, "ERR bad subscription id", "")
+			return
+		}
+		if s.removeSubscription(id) {
+			s.reply(addr, seq, "OK", "")
+		} else {
+			s.reply(addr, seq, "ERR no such subscription", "")
+		}
+	default:
+		s.reply(addr, seq, "ERR unknown verb "+verb, "")
+	}
+}
+
+func (s *Server) reply(addr *net.UDPAddr, seq uint64, status, body string) {
+	msg := fmt.Sprintf("%s %d %s\n", rpcMagic, seq, status)
+	if len(msg)+len(body) > MaxDatagram {
+		// Truncate at a line boundary and flag it.
+		keep := body[:MaxDatagram-len(msg)-len("TRUNCATED\n")]
+		if i := strings.LastIndexByte(keep, '\n'); i >= 0 {
+			keep = keep[:i+1]
+		}
+		body = keep + "TRUNCATED\n"
+	}
+	_, _ = s.conn.WriteToUDP([]byte(msg+body), addr)
+}
+
+func (s *Server) addSubscription(addr *net.UDPAddr, st *SubscribeStmt) uint64 {
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	sub := &subscription{
+		id: id, addr: addr, query: st.Query, every: st.Every,
+		cancel: make(chan struct{}),
+	}
+	s.subs[id] = sub
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.run(sub)
+	return id
+}
+
+func (s *Server) removeSubscription(id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sub, ok := s.subs[id]
+	if ok {
+		close(sub.cancel)
+		delete(s.subs, id)
+	}
+	return ok
+}
+
+// Subscriptions returns the number of active subscriptions.
+func (s *Server) Subscriptions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+func (s *Server) run(sub *subscription) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-sub.cancel:
+			return
+		case <-s.db.clk.After(sub.every):
+		}
+		res, err := s.db.Select(sub.query)
+		if err != nil {
+			continue
+		}
+		header := fmt.Sprintf("%s 0 PUSH %d\n", rpcMagic, sub.id)
+		body := res.Text()
+		if len(header)+len(body) > MaxDatagram {
+			keep := body[:MaxDatagram-len(header)-len("TRUNCATED\n")]
+			if i := strings.LastIndexByte(keep, '\n'); i >= 0 {
+				keep = keep[:i+1]
+			}
+			body = keep + "TRUNCATED\n"
+		}
+		if _, err := s.conn.WriteToUDP([]byte(header+body), sub.addr); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a UDP RPC client. It is safe for sequential use; concurrent
+// callers should use one Client each.
+type Client struct {
+	conn    *net.UDPConn
+	seq     uint64
+	timeout time.Duration
+
+	mu     sync.Mutex
+	pushes []Push
+	pushCh chan Push
+}
+
+// Push is one subscription push received by a client.
+type Push struct {
+	SubID  uint64
+	Result *Result
+}
+
+// Dial connects a client to a server address.
+func Dial(addr string) (*Client, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, timeout: 2 * time.Second, pushCh: make(chan Push, 64)}
+	return c, nil
+}
+
+// Close releases the client socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Pushes returns the channel on which subscription pushes are delivered
+// while the client waits inside calls.
+func (c *Client) Pushes() <-chan Push { return c.pushCh }
+
+// call sends a request and waits for its matching response, queuing any
+// pushes that arrive in between.
+func (c *Client) call(verb, body string) (status string, respBody string, err error) {
+	c.seq++
+	seq := c.seq
+	req := fmt.Sprintf("%s %d %s\n%s", rpcMagic, seq, verb, body)
+	if _, err := c.conn.Write([]byte(req)); err != nil {
+		return "", "", err
+	}
+	buf := make([]byte, 65536)
+	deadline := time.Now().Add(c.timeout)
+	for {
+		if err := c.conn.SetReadDeadline(deadline); err != nil {
+			return "", "", err
+		}
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			return "", "", err
+		}
+		gotSeq, rest, pushed, perr := c.parseResponse(string(buf[:n]))
+		if perr != nil {
+			continue // ignore garbage
+		}
+		if pushed {
+			continue
+		}
+		if gotSeq != seq {
+			continue // stale response
+		}
+		nl := strings.IndexByte(rest, '\n')
+		if nl < 0 {
+			return rest, "", nil
+		}
+		return rest[:nl], rest[nl+1:], nil
+	}
+}
+
+// parseResponse handles both replies and pushes; pushes are routed to the
+// push channel and pushed=true is returned.
+func (c *Client) parseResponse(s string) (seq uint64, rest string, pushed bool, err error) {
+	if !strings.HasPrefix(s, rpcMagic+" ") {
+		return 0, "", false, fmt.Errorf("bad magic")
+	}
+	s = s[len(rpcMagic)+1:]
+	sp := strings.IndexByte(s, ' ')
+	if sp < 0 {
+		return 0, "", false, fmt.Errorf("bad header")
+	}
+	seq, err = strconv.ParseUint(s[:sp], 10, 64)
+	if err != nil {
+		return 0, "", false, err
+	}
+	rest = s[sp+1:]
+	if strings.HasPrefix(rest, "PUSH ") {
+		nl := strings.IndexByte(rest, '\n')
+		if nl < 0 {
+			return 0, "", false, fmt.Errorf("bad push")
+		}
+		id, err := strconv.ParseUint(strings.TrimSpace(rest[5:nl]), 10, 64)
+		if err != nil {
+			return 0, "", false, err
+		}
+		res, err := ParseText(rest[nl+1:])
+		if err != nil {
+			return 0, "", false, err
+		}
+		select {
+		case c.pushCh <- Push{SubID: id, Result: res}:
+		default:
+		}
+		return 0, "", true, nil
+	}
+	return seq, rest, false, nil
+}
+
+// Exec runs one CQL statement; for SELECT the result is non-nil.
+func (c *Client) Exec(cql string) (*Result, error) {
+	status, body, err := c.call("EXEC", cql)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasPrefix(status, "ERR") {
+		return nil, fmt.Errorf("hwdb: server: %s", strings.TrimPrefix(status, "ERR "))
+	}
+	if body == "" {
+		return nil, nil
+	}
+	return ParseText(body)
+}
+
+// Subscribe registers a periodic subscription; returns its id.
+func (c *Client) Subscribe(cql string) (uint64, error) {
+	status, _, err := c.call("SUBSCRIBE", cql)
+	if err != nil {
+		return 0, err
+	}
+	if strings.HasPrefix(status, "ERR") {
+		return 0, fmt.Errorf("hwdb: server: %s", strings.TrimPrefix(status, "ERR "))
+	}
+	id, err := strconv.ParseUint(strings.TrimSpace(strings.TrimPrefix(status, "OK")), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("hwdb: bad subscribe response %q", status)
+	}
+	return id, nil
+}
+
+// Unsubscribe cancels a subscription.
+func (c *Client) Unsubscribe(id uint64) error {
+	status, _, err := c.call("UNSUBSCRIBE", strconv.FormatUint(id, 10))
+	if err != nil {
+		return err
+	}
+	if strings.HasPrefix(status, "ERR") {
+		return fmt.Errorf("hwdb: server: %s", strings.TrimPrefix(status, "ERR "))
+	}
+	return nil
+}
+
+// WaitPush blocks until a push arrives on the socket or the timeout
+// elapses. Use after Subscribe when no other calls are in flight.
+func (c *Client) WaitPush(timeout time.Duration) (Push, error) {
+	select {
+	case p := <-c.pushCh:
+		return p, nil
+	default:
+	}
+	buf := make([]byte, 65536)
+	deadline := time.Now().Add(timeout)
+	for {
+		select {
+		case p := <-c.pushCh:
+			return p, nil
+		default:
+		}
+		if err := c.conn.SetReadDeadline(deadline); err != nil {
+			return Push{}, err
+		}
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			return Push{}, err
+		}
+		_, _, pushed, perr := c.parseResponse(string(buf[:n]))
+		if perr == nil && pushed {
+			return <-c.pushCh, nil
+		}
+	}
+}
+
+// Ping checks server liveness.
+func (c *Client) Ping() error {
+	status, _, err := c.call("PING", "")
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(status, "OK") {
+		return fmt.Errorf("hwdb: ping: %s", status)
+	}
+	return nil
+}
+
+// ParseText parses the tab-separated wire form back into a Result with
+// string-typed cells (clients treat results as display data).
+func ParseText(s string) (*Result, error) {
+	sc := bufio.NewScanner(strings.NewReader(s))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	res := &Result{}
+	first := true
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || line == "TRUNCATED" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if first {
+			res.Cols = fields
+			first = false
+			continue
+		}
+		row := make([]Value, len(fields))
+		for i, f := range fields {
+			row[i] = Str(f)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if first {
+		return nil, fmt.Errorf("hwdb: empty result body")
+	}
+	return res, sc.Err()
+}

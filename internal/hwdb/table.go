@@ -1,0 +1,260 @@
+package hwdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/packet"
+)
+
+// DefaultRingSize is the per-table ring capacity when none is given. The
+// database is ephemeral by design: when the ring wraps, the oldest events
+// are forgotten.
+const DefaultRingSize = 65536
+
+// Table is one ephemeral event stream: a schema plus a fixed-size ring
+// buffer of timestamped rows.
+type Table struct {
+	name   string
+	schema *Schema
+
+	mu      sync.RWMutex
+	ring    []Row
+	head    int // position of next insert
+	count   int // rows currently held (<= len(ring))
+	inserts uint64
+	dropped uint64
+
+	onInsert []func(Row)
+}
+
+// NewTable creates a table with the given ring capacity.
+func NewTable(name string, schema *Schema, ringSize int) *Table {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	return &Table{name: name, schema: schema, ring: make([]Row, ringSize)}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Cap returns the ring capacity.
+func (t *Table) Cap() int { return len(t.ring) }
+
+// Len returns the number of rows currently retained.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
+
+// Stats returns total inserts and rows dropped by ring wrap.
+func (t *Table) Stats() (inserts, dropped uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.inserts, t.dropped
+}
+
+// Insert appends a row with timestamp ts, overwriting the oldest row when
+// the ring is full, then fires on-insert subscriptions outside the lock.
+func (t *Table) Insert(ts time.Time, vals []Value) error {
+	if err := t.schema.Validate(vals); err != nil {
+		return err
+	}
+	row := Row{TS: ts, Vals: vals}
+	t.mu.Lock()
+	if t.count == len(t.ring) {
+		t.dropped++
+	} else {
+		t.count++
+	}
+	t.ring[t.head] = row
+	t.head = (t.head + 1) % len(t.ring)
+	t.inserts++
+	subs := t.onInsert
+	t.mu.Unlock()
+	for _, fn := range subs {
+		fn(row)
+	}
+	return nil
+}
+
+// OnInsert registers fn to run for every inserted row. Used by the in-
+// process subscription path (the artifact's DHCP-flash mode, for example).
+func (t *Table) OnInsert(fn func(Row)) {
+	t.mu.Lock()
+	t.onInsert = append(t.onInsert, fn)
+	t.mu.Unlock()
+}
+
+// Snapshot returns the retained rows oldest-first. The returned slice is
+// fresh; row values are shared (rows are never mutated after insert).
+func (t *Table) Snapshot() []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Row, 0, t.count)
+	start := t.head - t.count
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// window returns rows selected by a window specification, oldest-first.
+func (t *Table) window(w Window, now time.Time) []Row {
+	rows := t.Snapshot()
+	switch w.Kind {
+	case WindowAll:
+		return rows
+	case WindowRows:
+		if w.N < len(rows) {
+			rows = rows[len(rows)-w.N:]
+		}
+		return rows
+	case WindowRange:
+		cutoff := now.Add(-w.Dur)
+		i := sort.Search(len(rows), func(i int) bool { return !rows[i].TS.Before(cutoff) })
+		return rows[i:]
+	case WindowNow:
+		if len(rows) == 0 {
+			return nil
+		}
+		return rows[len(rows)-1:]
+	}
+	return rows
+}
+
+// DB is a named collection of tables with a clock for window evaluation.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	clk    clock.Clock
+}
+
+// New creates an empty database using clk for RANGE windows and insertion
+// timestamps (pass clock.Real{} outside tests).
+func New(clk clock.Clock) *DB {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &DB{tables: make(map[string]*Table), clk: clk}
+}
+
+// Clock returns the database clock.
+func (db *DB) Clock() clock.Clock { return db.clk }
+
+// CreateTable adds a table; the name must be unused.
+func (db *DB) CreateTable(name string, schema *Schema, ringSize int) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, exists := db.tables[key]; exists {
+		return nil, fmt.Errorf("hwdb: table %s already exists", name)
+	}
+	t := NewTable(name, schema, ringSize)
+	db.tables[key] = t
+	return t, nil
+}
+
+// Table looks up a table by name (case-insensitive).
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// TableNames returns the sorted table names.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Insert validates and appends a row stamped with the database clock.
+func (db *DB) Insert(table string, vals ...Value) error {
+	t, ok := db.Table(table)
+	if !ok {
+		return fmt.Errorf("hwdb: no such table %s", table)
+	}
+	return t.Insert(db.clk.Now(), vals)
+}
+
+// Standard Homework table names.
+const (
+	TableFlows  = "Flows"
+	TableLinks  = "Links"
+	TableLeases = "Leases"
+)
+
+// NewHomework creates a database with the three standard Homework tables.
+//
+//	Flows:  periodically observed active five-tuples with byte/packet counts
+//	Links:  link-layer info per station: RSSI, retries, rates
+//	Leases: Ethernet-to-IP mappings with lease state
+func NewHomework(clk clock.Clock, ringSize int) *DB {
+	db := New(clk)
+	must := func(_ *Table, err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(db.CreateTable(TableFlows, NewSchema(
+		Column{"mac", TMAC},
+		Column{"saddr", TIP},
+		Column{"daddr", TIP},
+		Column{"proto", TInt},
+		Column{"sport", TInt},
+		Column{"dport", TInt},
+		Column{"packets", TInt},
+		Column{"bytes", TInt},
+	), ringSize))
+	must(db.CreateTable(TableLinks, NewSchema(
+		Column{"mac", TMAC},
+		Column{"rssi", TInt},
+		Column{"retries", TInt},
+		Column{"rate", TReal},
+	), ringSize))
+	must(db.CreateTable(TableLeases, NewSchema(
+		Column{"action", TString}, // add | del | upd
+		Column{"mac", TMAC},
+		Column{"ip", TIP},
+		Column{"hostname", TString},
+	), ringSize))
+	return db
+}
+
+// InsertFlow records one observation of an active five-tuple attributed to
+// the device with hardware address mac.
+func (db *DB) InsertFlow(mac packet.MAC, ft packet.FiveTuple, packets, bytes uint64) error {
+	return db.Insert(TableFlows,
+		MACVal(mac), IPVal(ft.Src), IPVal(ft.Dst), Int64(int64(ft.Proto)),
+		Int64(int64(ft.SrcPort)), Int64(int64(ft.DstPort)),
+		Int64(int64(packets)), Int64(int64(bytes)))
+}
+
+// InsertLink records a link-layer observation for a station.
+func (db *DB) InsertLink(mac packet.MAC, rssi, retries int, rate float64) error {
+	return db.Insert(TableLinks, MACVal(mac), Int64(int64(rssi)), Int64(int64(retries)), Float(rate))
+}
+
+// InsertLease records a DHCP lease event ("add", "del" or "upd").
+func (db *DB) InsertLease(action string, mac packet.MAC, ip packet.IP4, hostname string) error {
+	return db.Insert(TableLeases, Str(action), MACVal(mac), IPVal(ip), Str(hostname))
+}

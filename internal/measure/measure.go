@@ -1,0 +1,246 @@
+// Package measure implements the Homework router's measurement plane: it
+// periodically polls the datapath's flow statistics and the wireless
+// driver's link state, and streams observations into the hwdb Flows and
+// Links tables that the visualization interfaces subscribe to. (Lease
+// events reach the Leases table directly from the DHCP server.)
+package measure
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/hwdb"
+	"repro/internal/nox"
+	"repro/internal/openflow"
+	"repro/internal/packet"
+)
+
+// LinkSource supplies link-layer observations; implemented by
+// netsim.Network (and, on real hardware, by the WiFi driver).
+type LinkSource interface {
+	LinkInfos() []LinkSample
+}
+
+// LinkSample is one station's link state.
+type LinkSample struct {
+	MAC     packet.MAC
+	RSSI    int
+	Retries int
+	Rate    float64
+}
+
+// DeviceResolver attributes a flow's home-side address to a device MAC;
+// implemented by the DHCP server.
+type DeviceResolver interface {
+	MACForIP(ip packet.IP4) (packet.MAC, bool)
+}
+
+// Config parameterizes the measurement plane.
+type Config struct {
+	DB       *hwdb.DB
+	Clock    clock.Clock
+	Interval time.Duration // poll period (default 1s)
+	Links    LinkSource
+	Resolver DeviceResolver
+	// HomePrefix/HomePrefixLen classify which flow endpoint is the local
+	// device (e.g. 192.168.1.0/24).
+	HomePrefix    packet.IP4
+	HomePrefixLen int
+}
+
+// flowState tracks the last counters seen for a flow so the plane records
+// per-interval deltas ("periodically observed active five-tuples").
+type flowState struct {
+	packets uint64
+	bytes   uint64
+	lastUp  uint64 // poll generation last seen
+}
+
+// Plane is the measurement plane.
+type Plane struct {
+	cfg Config
+
+	mu    sync.Mutex
+	seen  map[flowIdent]*flowState
+	gen   uint64
+	stop  chan struct{}
+	once  sync.Once
+	polls uint64
+}
+
+type flowIdent struct {
+	ft  packet.FiveTuple
+	mac packet.MAC
+}
+
+// New creates a measurement plane.
+func New(cfg Config) *Plane {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = time.Second
+	}
+	return &Plane{cfg: cfg, seen: make(map[flowIdent]*flowState), stop: make(chan struct{})}
+}
+
+// Run polls sw until Stop; typically launched as a goroutine.
+func (p *Plane) Run(sw *nox.Switch) {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.cfg.Clock.After(p.cfg.Interval):
+		}
+		p.PollOnce(sw)
+	}
+}
+
+// Stop halts Run.
+func (p *Plane) Stop() { p.once.Do(func() { close(p.stop) }) }
+
+// Polls returns how many poll rounds have completed.
+func (p *Plane) Polls() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.polls
+}
+
+// PollOnce performs one measurement round: flow stats deltas into Flows,
+// link samples into Links.
+func (p *Plane) PollOnce(sw *nox.Switch) {
+	p.pollFlows(sw)
+	p.pollLinks()
+	p.mu.Lock()
+	p.polls++
+	p.mu.Unlock()
+}
+
+func (p *Plane) pollFlows(sw *nox.Switch) {
+	if sw == nil || p.cfg.DB == nil {
+		return
+	}
+	stats, err := sw.FlowStats(openflow.MatchAll())
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	p.gen++
+	gen := p.gen
+	p.mu.Unlock()
+
+	for _, fs := range stats {
+		ft, mac, ok := p.classify(&fs)
+		if !ok {
+			continue
+		}
+		id := flowIdent{ft: ft, mac: mac}
+		p.mu.Lock()
+		st := p.seen[id]
+		if st == nil {
+			st = &flowState{}
+			p.seen[id] = st
+		}
+		dp := fs.PacketCount - st.packets
+		db := fs.ByteCount - st.bytes
+		if fs.PacketCount < st.packets { // counters reset (rule reinstalled)
+			dp, db = fs.PacketCount, fs.ByteCount
+		}
+		st.packets, st.bytes = fs.PacketCount, fs.ByteCount
+		st.lastUp = gen
+		p.mu.Unlock()
+		if dp == 0 {
+			continue // not active this interval
+		}
+		_ = p.cfg.DB.InsertFlow(mac, ft, dp, db)
+	}
+
+	// Forget flows that vanished from the table.
+	p.mu.Lock()
+	for id, st := range p.seen {
+		if st.lastUp != gen {
+			delete(p.seen, id)
+		}
+	}
+	p.mu.Unlock()
+}
+
+// classify extracts the five-tuple from a flow entry's match and
+// attributes it to the home device.
+func (p *Plane) classify(fs *openflow.FlowStats) (packet.FiveTuple, packet.MAC, bool) {
+	m := &fs.Match
+	// Only fully-specified IPv4 transport entries describe single flows.
+	if m.DLType != packet.EtherTypeIPv4 || !m.IsExact() {
+		return packet.FiveTuple{}, packet.MAC{}, false
+	}
+	ft := packet.FiveTuple{
+		Src: m.NWSrc, Dst: m.NWDst,
+		Proto:   packet.IPProto(m.NWProto),
+		SrcPort: m.TPSrc, DstPort: m.TPDst,
+	}
+	mac, ok := p.attribute(ft)
+	return ft, mac, ok
+}
+
+// attribute finds the device MAC for the home-side endpoint.
+func (p *Plane) attribute(ft packet.FiveTuple) (packet.MAC, bool) {
+	if p.cfg.Resolver != nil {
+		if mac, ok := p.cfg.Resolver.MACForIP(ft.Src); ok {
+			return mac, true
+		}
+		if mac, ok := p.cfg.Resolver.MACForIP(ft.Dst); ok {
+			return mac, true
+		}
+	}
+	if p.cfg.HomePrefixLen > 0 {
+		if ft.Src.Mask(p.cfg.HomePrefixLen) == p.cfg.HomePrefix.Mask(p.cfg.HomePrefixLen) {
+			return packet.MAC{}, true
+		}
+		if ft.Dst.Mask(p.cfg.HomePrefixLen) == p.cfg.HomePrefix.Mask(p.cfg.HomePrefixLen) {
+			return packet.MAC{}, true
+		}
+	}
+	return packet.MAC{}, false
+}
+
+// RecordFlowRemoved ingests the final counters carried by a flow-removed
+// message, so traffic sent between the last poll and the entry's expiry is
+// not lost. The router wires this to the controller's flow-removed event.
+func (p *Plane) RecordFlowRemoved(match *openflow.Match, packets, bytes uint64) {
+	if p.cfg.DB == nil {
+		return
+	}
+	fs := openflow.FlowStats{Match: *match, PacketCount: packets, ByteCount: bytes}
+	ft, mac, ok := p.classify(&fs)
+	if !ok {
+		return
+	}
+	id := flowIdent{ft: ft, mac: mac}
+	p.mu.Lock()
+	st := p.seen[id]
+	var dp, db uint64
+	if st == nil {
+		dp, db = packets, bytes
+	} else {
+		dp, db = packets-st.packets, bytes-st.bytes
+		if packets < st.packets {
+			dp, db = packets, bytes
+		}
+		delete(p.seen, id)
+	}
+	p.mu.Unlock()
+	if dp == 0 {
+		return
+	}
+	_ = p.cfg.DB.InsertFlow(mac, ft, dp, db)
+}
+
+func (p *Plane) pollLinks() {
+	if p.cfg.Links == nil || p.cfg.DB == nil {
+		return
+	}
+	for _, li := range p.cfg.Links.LinkInfos() {
+		_ = p.cfg.DB.InsertLink(li.MAC, li.RSSI, li.Retries, li.Rate)
+	}
+}

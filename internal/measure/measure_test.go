@@ -1,0 +1,126 @@
+package measure
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/hwdb"
+	"repro/internal/openflow"
+	"repro/internal/packet"
+)
+
+type fakeLinks struct{ samples []LinkSample }
+
+func (f fakeLinks) LinkInfos() []LinkSample { return f.samples }
+
+type fakeResolver map[packet.IP4]packet.MAC
+
+func (f fakeResolver) MACForIP(ip packet.IP4) (packet.MAC, bool) {
+	m, ok := f[ip]
+	return m, ok
+}
+
+func TestPollLinksFillsTable(t *testing.T) {
+	clk := clock.NewSimulated()
+	db := hwdb.NewHomework(clk, 1024)
+	mac := packet.MustMAC("02:aa:00:00:00:01")
+	p := New(Config{
+		DB: db, Clock: clk, Interval: time.Second,
+		Links: fakeLinks{samples: []LinkSample{{MAC: mac, RSSI: -55, Retries: 2, Rate: 48}}},
+	})
+	p.PollOnce(nil) // nil switch: only links are polled
+	if p.Polls() != 1 {
+		t.Errorf("polls = %d", p.Polls())
+	}
+	res, err := db.Query("SELECT mac, rssi, retries, rate FROM Links")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].Int != -55 || res.Rows[0][3].Real != 48 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestAttributePrefersResolver(t *testing.T) {
+	clk := clock.NewSimulated()
+	db := hwdb.NewHomework(clk, 1024)
+	mac := packet.MustMAC("02:aa:00:00:00:01")
+	homeIP := packet.MustIP4("192.168.1.10")
+	p := New(Config{
+		DB: db, Clock: clk,
+		Resolver:   fakeResolver{homeIP: mac},
+		HomePrefix: packet.MustIP4("192.168.1.0"), HomePrefixLen: 24,
+	})
+	// Home side as source.
+	got, ok := p.attribute(packet.FiveTuple{Src: homeIP, Dst: packet.MustIP4("8.8.8.8")})
+	if !ok || got != mac {
+		t.Errorf("attribute(src) = %v, %v", got, ok)
+	}
+	// Home side as destination (return traffic).
+	got, ok = p.attribute(packet.FiveTuple{Src: packet.MustIP4("8.8.8.8"), Dst: homeIP})
+	if !ok || got != mac {
+		t.Errorf("attribute(dst) = %v, %v", got, ok)
+	}
+	// Unknown home address falls back to the prefix (anonymous MAC).
+	other := packet.MustIP4("192.168.1.99")
+	if _, ok := p.attribute(packet.FiveTuple{Src: other, Dst: packet.MustIP4("8.8.8.8")}); !ok {
+		t.Error("prefix fallback failed")
+	}
+	// Fully foreign flows are not attributed.
+	if _, ok := p.attribute(packet.FiveTuple{Src: packet.MustIP4("8.8.8.8"), Dst: packet.MustIP4("9.9.9.9")}); ok {
+		t.Error("foreign flow attributed")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	clk := clock.NewSimulated()
+	db := hwdb.NewHomework(clk, 64)
+	p := New(Config{DB: db, Clock: clk, Interval: time.Second})
+	done := make(chan struct{})
+	go func() {
+		p.Run(nil)
+		close(done)
+	}()
+	p.Stop()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop")
+	}
+}
+
+func TestRecordFlowRemoved(t *testing.T) {
+	clk := clock.NewSimulated()
+	db := hwdb.NewHomework(clk, 1024)
+	mac := packet.MustMAC("02:aa:00:00:00:01")
+	homeIP := packet.MustIP4("192.168.1.10")
+	p := New(Config{DB: db, Clock: clk, Resolver: fakeResolver{homeIP: mac}})
+
+	// Build the exact match a forwarding rule would carry.
+	f := packet.NewTCPFrame(mac, packet.MustMAC("02:01:00:00:00:01"),
+		homeIP, packet.MustIP4("93.184.216.34"), 50000, 80, packet.TCPAck, 0, nil)
+	var d packet.Decoded
+	if err := d.Decode(f.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	m := openflow.MatchFromFrame(&d, 1)
+
+	// Never polled: the full final counters are recorded.
+	p.RecordFlowRemoved(&m, 10, 15000)
+	res, err := db.Query("SELECT sum(bytes) FROM Flows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsFloat() != 15000 {
+		t.Errorf("bytes = %v", res.Rows[0][0])
+	}
+
+	// Wildcard (non-flow) matches are ignored.
+	all := openflow.MatchAll()
+	p.RecordFlowRemoved(&all, 5, 500)
+	res, _ = db.Query("SELECT count(*) FROM Flows")
+	if res.Rows[0][0].Int != 1 {
+		t.Errorf("wildcard removal recorded: %v", res.Rows)
+	}
+}

@@ -1,0 +1,193 @@
+package netsim
+
+import (
+	"sync"
+
+	"repro/internal/packet"
+)
+
+// AppKind selects a canned traffic profile: the workloads the paper's
+// bandwidth interface displays.
+type AppKind uint8
+
+// Application profiles.
+const (
+	AppWeb   AppKind = iota // bursty HTTP/HTTPS request-response
+	AppVideo                // steady high-rate streaming over TCP 443
+	AppVoIP                 // constant small UDP at 5060
+	AppP2P                  // several parallel TCP flows on 6881
+	AppIoT                  // periodic tiny UDP telemetry
+	AppDNS                  // bare DNS chatter
+)
+
+// String names the profile.
+func (k AppKind) String() string {
+	switch k {
+	case AppWeb:
+		return "web"
+	case AppVideo:
+		return "video"
+	case AppVoIP:
+		return "voip"
+	case AppP2P:
+		return "p2p"
+	case AppIoT:
+		return "iot"
+	case AppDNS:
+		return "dns"
+	}
+	return "app"
+}
+
+// App generates traffic from a host to a target (hostname or literal IP).
+// Each Step emits the frames for one simulated tick.
+type App struct {
+	Kind   AppKind
+	Target string // hostname to resolve, or dotted IP
+	// RateBps is the target payload rate in bytes per second.
+	RateBps int
+	// PacketSize is the payload bytes per packet (default per profile).
+	PacketSize int
+
+	host    *Host
+	srcPort uint16
+
+	mu       sync.Mutex
+	dst      packet.IP4
+	resolved bool
+	failed   bool
+	synSent  bool
+	seq      uint32
+	carry    float64 // fractional packet accumulation
+	sent     uint64  // payload bytes sent
+	flows    int     // parallel flows for p2p
+}
+
+// NewApp builds an application with profile defaults.
+func NewApp(kind AppKind, target string, rateBps int) *App {
+	a := &App{Kind: kind, Target: target, RateBps: rateBps}
+	switch kind {
+	case AppWeb:
+		a.PacketSize = 1200
+	case AppVideo:
+		a.PacketSize = 1400
+	case AppVoIP:
+		a.PacketSize = 160
+	case AppP2P:
+		a.PacketSize = 1400
+		a.flows = 4
+	case AppIoT:
+		a.PacketSize = 64
+	case AppDNS:
+		a.PacketSize = 48
+	}
+	return a
+}
+
+// DstPort returns the destination port of the profile.
+func (a *App) DstPort() uint16 {
+	switch a.Kind {
+	case AppWeb:
+		return 80
+	case AppVideo:
+		return 443
+	case AppVoIP:
+		return 5060
+	case AppP2P:
+		return 6881
+	case AppIoT:
+		return 8883
+	case AppDNS:
+		return 53
+	}
+	return 9
+}
+
+// Proto returns the transport protocol of the profile.
+func (a *App) Proto() packet.IPProto {
+	switch a.Kind {
+	case AppVoIP, AppIoT, AppDNS:
+		return packet.ProtoUDP
+	default:
+		return packet.ProtoTCP
+	}
+}
+
+// SentBytes returns payload bytes emitted so far.
+func (a *App) SentBytes() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sent
+}
+
+// Step advances the application by dt seconds, emitting traffic.
+func (a *App) Step(dt float64) {
+	if a.host == nil || !a.host.Bound() {
+		return
+	}
+	a.mu.Lock()
+	if a.failed {
+		a.mu.Unlock()
+		return
+	}
+	if !a.resolved {
+		a.mu.Unlock()
+		a.resolve()
+		return
+	}
+	dst := a.dst
+	budget := a.carry + float64(a.RateBps)*dt
+	n := int(budget / float64(a.PacketSize))
+	a.carry = budget - float64(n*a.PacketSize)
+	needSyn := a.Proto() == packet.ProtoTCP && !a.synSent
+	if needSyn {
+		a.synSent = true
+	}
+	seq := a.seq
+	a.seq += uint32(n * a.PacketSize)
+	a.sent += uint64(n * a.PacketSize)
+	flows := a.flows
+	if flows == 0 {
+		flows = 1
+	}
+	srcPort := a.srcPort
+	a.mu.Unlock()
+
+	if needSyn {
+		for f := 0; f < flows; f++ {
+			a.host.sendTCP(dst, srcPort+uint16(f), a.DstPort(), packet.TCPSyn, 0, nil)
+		}
+	}
+	payload := make([]byte, a.PacketSize)
+	for i := 0; i < n; i++ {
+		port := srcPort + uint16(i%flows)
+		switch a.Proto() {
+		case packet.ProtoUDP:
+			a.host.sendUDP(dst, port, a.DstPort(), payload)
+		default:
+			a.host.sendTCP(dst, port, a.DstPort(), packet.TCPAck|packet.TCPPsh, seq+uint32(i*a.PacketSize), payload)
+		}
+	}
+}
+
+// resolve kicks off target resolution (idempotent; retried on failure so a
+// policy change can unblock a previously denied name).
+func (a *App) resolve() {
+	if ip, err := packet.ParseIP4(a.Target); err == nil {
+		a.mu.Lock()
+		a.dst, a.resolved = ip, true
+		a.mu.Unlock()
+		return
+	}
+	a.host.Resolve(a.Target, func(ip packet.IP4, ok bool) {
+		a.mu.Lock()
+		if ok {
+			a.dst, a.resolved = ip, true
+		}
+		a.mu.Unlock()
+	})
+}
+
+// deliver observes inbound packets addressed to the app's flow (responses
+// from the upstream server); the default profiles just absorb them.
+func (a *App) deliver(d *packet.Decoded) {}

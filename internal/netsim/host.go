@@ -1,0 +1,419 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/packet"
+)
+
+// DHCP client states.
+type dhcpState uint8
+
+const (
+	dhcpInit dhcpState = iota
+	dhcpDiscovering
+	dhcpRequesting
+	dhcpBound
+	dhcpDenied
+)
+
+// Host is one simulated device: a network interface with a minimal stack
+// (ARP, DHCP client, DNS stub resolver) and a set of traffic applications.
+type Host struct {
+	Name     string
+	MAC      packet.MAC
+	Wireless bool
+
+	net  *Network
+	port uint16
+
+	mu       sync.Mutex
+	pos      Pos
+	ip       packet.IP4
+	mask     int // prefix length of the lease
+	gw       packet.IP4
+	dns      packet.IP4
+	state    dhcpState
+	xid      uint32
+	arp      map[packet.IP4]packet.MAC
+	arpWait  map[packet.IP4][][]byte
+	resolved map[string]packet.IP4
+	dnsWait  map[uint16]dnsQuery
+	nextDNS  uint16
+	nextPort uint16
+	apps     []*App
+
+	// RxBytes/RxFrames count frames delivered to this host.
+	RxBytes  uint64
+	RxFrames uint64
+	// OnFrame, when set, observes every delivered frame (tests, UIs).
+	OnFrame func(frame []byte)
+}
+
+type dnsQuery struct {
+	name string
+	cb   func(packet.IP4, bool)
+}
+
+func newHost(name string, mac packet.MAC, wireless bool, pos Pos) *Host {
+	return &Host{
+		Name: name, MAC: mac, Wireless: wireless, pos: pos,
+		arp:      make(map[packet.IP4]packet.MAC),
+		arpWait:  make(map[packet.IP4][][]byte),
+		resolved: make(map[string]packet.IP4),
+		dnsWait:  make(map[uint16]dnsQuery),
+		nextPort: 49152,
+	}
+}
+
+// IP returns the host's leased address (zero until DHCP completes).
+func (h *Host) IP() packet.IP4 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ip
+}
+
+// Bound reports whether DHCP has completed.
+func (h *Host) Bound() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state == dhcpBound
+}
+
+// Denied reports whether the DHCP server NAKed this host.
+func (h *Host) Denied() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state == dhcpDenied
+}
+
+// LeaseMask returns the prefix length of the lease (32 under the Homework
+// /32 allocation scheme).
+func (h *Host) LeaseMask() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.mask
+}
+
+// Pos returns the host's position.
+func (h *Host) Pos() Pos {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.pos
+}
+
+// MoveTo relocates the host (changing its RSSI).
+func (h *Host) MoveTo(p Pos) {
+	h.mu.Lock()
+	h.pos = p
+	h.mu.Unlock()
+}
+
+// send transmits a frame out of the host's interface.
+func (h *Host) send(frame []byte) { h.net.fromHost(h, frame) }
+
+// SendRaw transmits a prebuilt frame (tests and special probes).
+func (h *Host) SendRaw(frame []byte) { h.send(frame) }
+
+// RxStats returns how many frames and bytes the host has received.
+func (h *Host) RxStats() (frames, bytes uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.RxFrames, h.RxBytes
+}
+
+// StartDHCP begins address acquisition.
+func (h *Host) StartDHCP() {
+	h.mu.Lock()
+	h.state = dhcpDiscovering
+	h.xid++
+	xid := h.xid
+	h.mu.Unlock()
+
+	d := &packet.DHCP{Op: packet.DHCPBootRequest, XID: xid, Flags: 0x8000, CHAddr: h.MAC}
+	d.AddMsgType(packet.DHCPDiscover)
+	d.AddOption(packet.DHCPOptHostname, []byte(h.Name))
+	frame := packet.NewDHCPFrame(d, h.MAC, packet.Broadcast,
+		packet.IP4{}, packet.IP4{255, 255, 255, 255},
+		packet.DHCPClientPort, packet.DHCPServerPort)
+	h.send(frame.Bytes())
+}
+
+// Release sends a DHCP release and forgets the lease.
+func (h *Host) Release() {
+	h.mu.Lock()
+	ip, server := h.ip, h.gw
+	h.ip, h.state = packet.IP4{}, dhcpInit
+	h.mu.Unlock()
+	if ip.IsZero() {
+		return
+	}
+	d := &packet.DHCP{Op: packet.DHCPBootRequest, XID: 99, CIAddr: ip, CHAddr: h.MAC}
+	d.AddMsgType(packet.DHCPRelease)
+	d.AddIPOption(packet.DHCPOptServerID, server)
+	frame := packet.NewDHCPFrame(d, h.MAC, packet.Broadcast, ip, server,
+		packet.DHCPClientPort, packet.DHCPServerPort)
+	h.send(frame.Bytes())
+}
+
+// Deliver hands a frame received from the network to the host stack.
+func (h *Host) Deliver(frame []byte) {
+	h.mu.Lock()
+	h.RxFrames++
+	h.RxBytes += uint64(len(frame))
+	onFrame := h.OnFrame
+	h.mu.Unlock()
+	if onFrame != nil {
+		onFrame(frame)
+	}
+
+	var d packet.Decoded
+	if err := d.Decode(frame); err != nil {
+		return
+	}
+	if !d.Eth.Dst.IsBroadcast() && !d.Eth.Dst.IsMulticast() && d.Eth.Dst != h.MAC {
+		return
+	}
+	switch {
+	case d.HasARP:
+		h.handleARP(&d)
+	case d.HasUDP && d.UDP.DstPort == packet.DHCPClientPort:
+		h.handleDHCP(&d)
+	case d.HasUDP && d.UDP.SrcPort == packet.DNSPort:
+		h.handleDNS(&d)
+	case d.HasTCP || d.HasUDP || d.HasICMP:
+		h.handleData(&d)
+	}
+}
+
+func (h *Host) handleARP(d *packet.Decoded) {
+	h.mu.Lock()
+	myIP := h.ip
+	h.mu.Unlock()
+	switch d.ARP.Op {
+	case packet.ARPRequest:
+		if !myIP.IsZero() && d.ARP.TargetIP == myIP {
+			reply := packet.NewARPReply(h.MAC, myIP, &d.ARP)
+			h.send(reply.Bytes())
+		}
+	case packet.ARPReply:
+		h.mu.Lock()
+		h.arp[d.ARP.SenderIP] = d.ARP.SenderHW
+		queued := h.arpWait[d.ARP.SenderIP]
+		delete(h.arpWait, d.ARP.SenderIP)
+		h.mu.Unlock()
+		for _, f := range queued {
+			// Fill in the resolved destination MAC and transmit.
+			var e packet.Ethernet
+			if err := e.DecodeFromBytes(f); err == nil {
+				e.Dst = d.ARP.SenderHW
+				h.send(e.Bytes())
+			}
+		}
+	}
+}
+
+func (h *Host) handleDHCP(d *packet.Decoded) {
+	var msg packet.DHCP
+	if err := msg.DecodeFromBytes(d.UDP.Payload); err != nil {
+		return
+	}
+	if msg.CHAddr != h.MAC {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if msg.XID != h.xid {
+		return
+	}
+	switch msg.MsgType() {
+	case packet.DHCPOffer:
+		if h.state != dhcpDiscovering {
+			return
+		}
+		server, _ := msg.ServerID()
+		req := &packet.DHCP{Op: packet.DHCPBootRequest, XID: h.xid, Flags: 0x8000, CHAddr: h.MAC}
+		req.AddMsgType(packet.DHCPRequest)
+		req.AddIPOption(packet.DHCPOptRequestedIP, msg.YIAddr)
+		req.AddIPOption(packet.DHCPOptServerID, server)
+		req.AddOption(packet.DHCPOptHostname, []byte(h.Name))
+		h.state = dhcpRequesting
+		frame := packet.NewDHCPFrame(req, h.MAC, packet.Broadcast,
+			packet.IP4{}, packet.IP4{255, 255, 255, 255},
+			packet.DHCPClientPort, packet.DHCPServerPort)
+		go h.send(frame.Bytes()) // outside the lock
+	case packet.DHCPAck:
+		if h.state != dhcpRequesting {
+			return
+		}
+		h.ip = msg.YIAddr
+		h.mask = 32
+		if m, ok := msg.SubnetMask(); ok {
+			h.mask = prefixLen(m)
+		}
+		if v, ok := msg.Option(packet.DHCPOptRouter); ok && len(v) == 4 {
+			h.gw = packet.IP4{v[0], v[1], v[2], v[3]}
+		}
+		if v, ok := msg.Option(packet.DHCPOptDNSServer); ok && len(v) >= 4 {
+			h.dns = packet.IP4{v[0], v[1], v[2], v[3]}
+		}
+		h.state = dhcpBound
+	case packet.DHCPNak:
+		h.state = dhcpDenied
+	}
+}
+
+func prefixLen(mask packet.IP4) int {
+	v := mask.Uint32()
+	n := 0
+	for v&0x80000000 != 0 {
+		n++
+		v <<= 1
+	}
+	return n
+}
+
+// Resolve looks up a name via the configured DNS server, invoking cb with
+// the answer (or ok=false on NXDOMAIN/refusal).
+func (h *Host) Resolve(name string, cb func(packet.IP4, bool)) {
+	h.mu.Lock()
+	if ip, ok := h.resolved[name]; ok {
+		h.mu.Unlock()
+		cb(ip, true)
+		return
+	}
+	h.nextDNS++
+	id := h.nextDNS
+	h.dnsWait[id] = dnsQuery{name: name, cb: cb}
+	dnsIP := h.dns
+	h.mu.Unlock()
+	if dnsIP.IsZero() {
+		cb(packet.IP4{}, false)
+		return
+	}
+	q := packet.NewDNSQuery(id, name, packet.DNSTypeA)
+	raw, err := q.Bytes()
+	if err != nil {
+		cb(packet.IP4{}, false)
+		return
+	}
+	h.sendUDP(dnsIP, 5353, packet.DNSPort, raw)
+}
+
+func (h *Host) handleDNS(d *packet.Decoded) {
+	var msg packet.DNS
+	if err := msg.DecodeFromBytes(d.UDP.Payload); err != nil {
+		return
+	}
+	h.mu.Lock()
+	q, ok := h.dnsWait[msg.ID]
+	if ok {
+		delete(h.dnsWait, msg.ID)
+	}
+	h.mu.Unlock()
+	if !ok {
+		return
+	}
+	for _, rr := range msg.Answers {
+		if ip, isA := rr.A(); isA {
+			h.mu.Lock()
+			h.resolved[q.name] = ip
+			h.mu.Unlock()
+			q.cb(ip, true)
+			return
+		}
+	}
+	q.cb(packet.IP4{}, false)
+}
+
+// handleData feeds inbound transport packets to the apps (for echo-style
+// protocols) — the default host simply absorbs them.
+func (h *Host) handleData(d *packet.Decoded) {
+	h.mu.Lock()
+	apps := append([]*App(nil), h.apps...)
+	h.mu.Unlock()
+	for _, a := range apps {
+		a.deliver(d)
+	}
+}
+
+// sendUDP emits a UDP datagram through the routing logic.
+func (h *Host) sendUDP(dst packet.IP4, srcPort, dstPort uint16, payload []byte) {
+	h.mu.Lock()
+	src := h.ip
+	h.mu.Unlock()
+	frame := packet.NewUDPFrame(h.MAC, packet.MAC{}, src, dst, srcPort, dstPort, payload)
+	h.route(dst, frame)
+}
+
+// sendTCP emits a TCP segment through the routing logic.
+func (h *Host) sendTCP(dst packet.IP4, srcPort, dstPort uint16, flags uint8, seq uint32, payload []byte) {
+	h.mu.Lock()
+	src := h.ip
+	h.mu.Unlock()
+	frame := packet.NewTCPFrame(h.MAC, packet.MAC{}, src, dst, srcPort, dstPort, flags, seq, payload)
+	h.route(dst, frame)
+}
+
+// route resolves the next-hop MAC for dst and transmits. Under a /32 lease
+// every destination is off-link, so everything goes via the gateway — the
+// Homework mechanism that forces all flows through the router.
+func (h *Host) route(dst packet.IP4, frame *packet.Ethernet) {
+	h.mu.Lock()
+	nexthop := dst
+	if h.mask < 32 {
+		if dst.Mask(h.mask) != h.ip.Mask(h.mask) {
+			nexthop = h.gw
+		}
+	} else {
+		nexthop = h.gw
+	}
+	if nexthop.IsZero() {
+		h.mu.Unlock()
+		return
+	}
+	mac, known := h.arp[nexthop]
+	if known {
+		h.mu.Unlock()
+		frame.Dst = mac
+		h.send(frame.Bytes())
+		return
+	}
+	h.arpWait[nexthop] = append(h.arpWait[nexthop], frame.Bytes())
+	myIP := h.ip
+	h.mu.Unlock()
+	req := packet.NewARPRequest(h.MAC, myIP, nexthop)
+	h.send(req.Bytes())
+}
+
+// ephemeralPort hands out client port numbers.
+func (h *Host) ephemeralPort() uint16 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.nextPort
+	h.nextPort++
+	if h.nextPort == 0 {
+		h.nextPort = 49152
+	}
+	return p
+}
+
+// AddApp attaches a traffic application to the host.
+func (h *Host) AddApp(a *App) {
+	a.host = h
+	a.srcPort = h.ephemeralPort()
+	h.mu.Lock()
+	h.apps = append(h.apps, a)
+	h.mu.Unlock()
+}
+
+// Apps returns the host's applications.
+func (h *Host) Apps() []*App {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]*App(nil), h.apps...)
+}
+
+// String identifies the host in logs.
+func (h *Host) String() string { return fmt.Sprintf("%s(%s)", h.Name, h.MAC) }

@@ -1,0 +1,209 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datapath"
+	"repro/internal/packet"
+)
+
+func TestWirelessRSSIMonotoneInDistance(t *testing.T) {
+	w := DefaultWireless(1)
+	w.Shadow = 0 // deterministic
+	prev := math.Inf(1)
+	for _, d := range []float64{1, 2, 5, 10, 20, 40} {
+		r := float64(w.RSSI(d))
+		if r > prev {
+			t.Errorf("RSSI(%gm) = %g > RSSI at shorter distance %g", d, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestWirelessDeliveryProb(t *testing.T) {
+	w := DefaultWireless(1)
+	if p := w.DeliveryProb(-50); p < 0.99 {
+		t.Errorf("strong signal delivery = %g", p)
+	}
+	if p := w.DeliveryProb(-95); p > 0.05 {
+		t.Errorf("weak signal delivery = %g", p)
+	}
+	if w.DeliveryProb(-70) <= w.DeliveryProb(-85) {
+		t.Error("delivery probability not monotone in RSSI")
+	}
+}
+
+func TestWirelessRateTiers(t *testing.T) {
+	w := DefaultWireless(1)
+	if w.Rate(-40) != 54 || w.Rate(-90) != 6 {
+		t.Errorf("rate tiers wrong: %g, %g", w.Rate(-40), w.Rate(-90))
+	}
+	prev := w.Rate(-40)
+	for rssi := -45; rssi >= -90; rssi -= 5 {
+		r := w.Rate(rssi)
+		if r > prev {
+			t.Errorf("Rate(%d) = %g increases as signal weakens", rssi, r)
+		}
+		prev = r
+	}
+}
+
+func TestWirelessRetriesDistribution(t *testing.T) {
+	w := DefaultWireless(42)
+	// At strong signal nearly everything delivers on the first attempt.
+	total, fails := 0, 0
+	for i := 0; i < 500; i++ {
+		r, ok := w.Retries(-50, 7)
+		total += r
+		if !ok {
+			fails++
+		}
+	}
+	if fails > 0 || total > 50 {
+		t.Errorf("strong signal: %d fails, %d retries", fails, total)
+	}
+	// At very weak signal, losses occur.
+	fails = 0
+	for i := 0; i < 500; i++ {
+		if _, ok := w.Retries(-95, 3); !ok {
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Error("no losses at -95 dBm")
+	}
+}
+
+func TestPosDist(t *testing.T) {
+	if d := (Pos{3, 4}).Dist(Pos{0, 0}); d != 5 {
+		t.Errorf("Dist = %g", d)
+	}
+}
+
+func TestRetriesQuickNeverExceedMax(t *testing.T) {
+	w := DefaultWireless(7)
+	f := func(rssi int8, max uint8) bool {
+		m := int(max % 16)
+		r, _ := w.Retries(int(rssi), m)
+		return r >= 0 && r <= m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNetworkAddHostAndPorts(t *testing.T) {
+	dp := datapath.New(datapath.Config{ID: 1})
+	n := New(dp, DefaultWireless(1))
+	h, err := n.AddHost("laptop", packet.MustMAC("02:aa:00:00:00:01"), true, Pos{X: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.Host(h.MAC); !ok {
+		t.Error("host not registered")
+	}
+	if _, err := n.AddHost("dup", h.MAC, false, Pos{}); err == nil {
+		t.Error("duplicate MAC accepted")
+	}
+	if len(n.Hosts()) != 1 {
+		t.Errorf("hosts = %d", len(n.Hosts()))
+	}
+	// The host has a datapath port delivering to it.
+	if _, ok := dp.Port(1); !ok {
+		t.Error("no datapath port for host")
+	}
+}
+
+func TestLinkInfosTrackPosition(t *testing.T) {
+	dp := datapath.New(datapath.Config{ID: 1})
+	w := DefaultWireless(1)
+	w.Shadow = 0
+	n := New(dp, w)
+	h, _ := n.AddHost("phone", packet.MustMAC("02:aa:00:00:00:01"), true, Pos{X: 1})
+	near := n.LinkInfos()[0].RSSI
+	h.MoveTo(Pos{X: 30})
+	far := n.LinkInfos()[0].RSSI
+	if far >= near {
+		t.Errorf("RSSI near=%d far=%d", near, far)
+	}
+}
+
+func TestUpstreamDNSZone(t *testing.T) {
+	u := NewUpstream()
+	ip, ok := u.Lookup("facebook.com")
+	if !ok || ip != packet.MustIP4("157.240.1.35") {
+		t.Errorf("Lookup = %v, %v", ip, ok)
+	}
+	name, ok := u.ReverseLookup(ip)
+	if !ok || (name != "facebook.com" && name != "www.facebook.com") {
+		t.Errorf("ReverseLookup = %q, %v", name, ok)
+	}
+	u.AddZone("new.example", packet.MustIP4("1.2.3.4"))
+	if _, ok := u.Lookup("new.example"); !ok {
+		t.Error("AddZone failed")
+	}
+	if _, ok := u.Lookup("no.such.name"); ok {
+		t.Error("phantom zone entry")
+	}
+}
+
+func TestHostEphemeralPortsAdvance(t *testing.T) {
+	h := newHost("x", packet.MAC{1}, false, Pos{})
+	p1 := h.ephemeralPort()
+	p2 := h.ephemeralPort()
+	if p1 == p2 || p2 != p1+1 {
+		t.Errorf("ports %d, %d", p1, p2)
+	}
+}
+
+func TestAppProfiles(t *testing.T) {
+	cases := []struct {
+		kind  AppKind
+		port  uint16
+		proto packet.IPProto
+	}{
+		{AppWeb, 80, packet.ProtoTCP},
+		{AppVideo, 443, packet.ProtoTCP},
+		{AppVoIP, 5060, packet.ProtoUDP},
+		{AppP2P, 6881, packet.ProtoTCP},
+		{AppIoT, 8883, packet.ProtoUDP},
+		{AppDNS, 53, packet.ProtoUDP},
+	}
+	for _, c := range cases {
+		a := NewApp(c.kind, "example.com", 1000)
+		if a.DstPort() != c.port || a.Proto() != c.proto {
+			t.Errorf("%v: port=%d proto=%v", c.kind, a.DstPort(), a.Proto())
+		}
+		if c.kind.String() == "app" {
+			t.Errorf("%v has no name", c.kind)
+		}
+	}
+}
+
+func TestAppRateAccounting(t *testing.T) {
+	// An app on a bound host emits RateBps*seconds payload bytes.
+	dp := datapath.New(datapath.Config{ID: 1})
+	n := New(dp, DefaultWireless(1))
+	h, _ := n.AddHost("gen", packet.MustMAC("02:aa:00:00:00:01"), false, Pos{})
+	// Short-circuit DHCP: force a bound lease state.
+	h.mu.Lock()
+	h.state = dhcpBound
+	h.ip = packet.MustIP4("192.168.1.10")
+	h.gw = packet.MustIP4("192.168.1.1")
+	h.mask = 32
+	h.arp[h.gw] = packet.MustMAC("02:01:00:00:00:01")
+	h.mu.Unlock()
+
+	a := NewApp(AppVoIP, "10.0.0.9", 16000)
+	h.AddApp(a)
+	n.Step(0) // first step resolves the (literal) target
+	for i := 0; i < 10; i++ {
+		n.Step(0.1) // 1 second total
+	}
+	sent := a.SentBytes()
+	if sent < 15000 || sent > 17000 {
+		t.Errorf("sent %d bytes, want ~16000", sent)
+	}
+}

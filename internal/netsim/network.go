@@ -1,0 +1,238 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/datapath"
+	"repro/internal/packet"
+)
+
+// LinkInfo is the link-layer state of one station, as the router's WiFi
+// driver would report it; the measurement plane polls it into the hwdb
+// Links table.
+type LinkInfo struct {
+	MAC     packet.MAC
+	RSSI    int
+	Retries int // cumulative retransmissions
+	Rate    float64
+}
+
+// Network wires simulated hosts to datapath ports and applies the wireless
+// model on station uplinks.
+type Network struct {
+	dp       *datapath.Datapath
+	wireless *Wireless
+	routerAt Pos
+
+	mu       sync.Mutex
+	hosts    map[packet.MAC]*Host
+	byPort   map[uint16]*Host
+	upstream *Upstream
+	nextPort uint16
+	links    map[packet.MAC]*LinkInfo
+	maxRetry int
+	directL2 bool
+	bypass   uint64 // frames delivered host-to-host without the router
+}
+
+// New creates a network around an existing datapath. Wireless hosts are
+// attached with the given propagation model (DefaultWireless if nil).
+func New(dp *datapath.Datapath, w *Wireless) *Network {
+	if w == nil {
+		w = DefaultWireless(1)
+	}
+	return &Network{
+		dp:       dp,
+		wireless: w,
+		hosts:    make(map[packet.MAC]*Host),
+		byPort:   make(map[uint16]*Host),
+		links:    make(map[packet.MAC]*LinkInfo),
+		nextPort: 1,
+		maxRetry: 7,
+	}
+}
+
+// Datapath returns the underlying switch.
+func (n *Network) Datapath() *datapath.Datapath { return n.dp }
+
+// AddHost creates a host, attaches it to a fresh datapath port, and
+// returns it. Wireless hosts are subject to the propagation model.
+func (n *Network) AddHost(name string, mac packet.MAC, wireless bool, pos Pos) (*Host, error) {
+	h := newHost(name, mac, wireless, pos)
+	h.net = n
+	n.mu.Lock()
+	if _, dup := n.hosts[mac]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("netsim: duplicate MAC %s", mac)
+	}
+	port := n.nextPort
+	n.nextPort++
+	h.port = port
+	n.hosts[mac] = h
+	n.byPort[port] = h
+	if wireless {
+		n.links[mac] = &LinkInfo{MAC: mac, RSSI: n.wireless.RSSI(pos.Dist(n.routerAt)), Rate: 54}
+	}
+	n.mu.Unlock()
+
+	err := n.dp.AddPort(&datapath.Port{
+		No: port, Name: fmt.Sprintf("port%d-%s", port, name), HWAddr: mac,
+		Out: func(frame []byte) { h.Deliver(frame) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Host returns a host by MAC.
+func (n *Network) Host(mac packet.MAC) (*Host, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[mac]
+	return h, ok
+}
+
+// Hosts returns all hosts.
+func (n *Network) Hosts() []*Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		out = append(out, h)
+	}
+	return out
+}
+
+// AttachUpstream creates the upstream (ISP + Internet) host on a fresh
+// port and returns it.
+func (n *Network) AttachUpstream(u *Upstream) (uint16, error) {
+	n.mu.Lock()
+	port := n.nextPort
+	n.nextPort++
+	n.upstream = u
+	n.mu.Unlock()
+	u.net = n
+	u.port = port
+	err := n.dp.AddPort(&datapath.Port{
+		No: port, Name: "eth0-upstream", HWAddr: u.MAC,
+		Out: func(frame []byte) { u.Deliver(frame) },
+	})
+	if err != nil {
+		return 0, err
+	}
+	return port, nil
+}
+
+// UpstreamPort returns the upstream's port number (0 if not attached).
+func (n *Network) UpstreamPort() uint16 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.upstream == nil {
+		return 0
+	}
+	return n.upstream.port
+}
+
+// SetDirectL2 models a conventional home switch fabric: frames addressed
+// to another host's MAC are delivered directly, bypassing the router's
+// datapath. Meaningful only with /24 leases (under the Homework /32 scheme
+// hosts never address each other at layer 2) — the ablation that shows why
+// the paper's DHCP trick matters.
+func (n *Network) SetDirectL2(on bool) {
+	n.mu.Lock()
+	n.directL2 = on
+	n.mu.Unlock()
+}
+
+// BypassedFrames counts frames that crossed host-to-host without ever
+// reaching the router (invisible traffic).
+func (n *Network) BypassedFrames() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.bypass
+}
+
+// fromHost carries a host transmission onto its switch port, applying the
+// wireless model on station uplinks.
+func (n *Network) fromHost(h *Host, frame []byte) {
+	if h.Wireless {
+		rssi := n.wireless.RSSI(h.Pos().Dist(n.routerAt))
+		retries, delivered := n.wireless.Retries(rssi, n.maxRetry)
+		n.mu.Lock()
+		li := n.links[h.MAC]
+		if li == nil {
+			li = &LinkInfo{MAC: h.MAC}
+			n.links[h.MAC] = li
+		}
+		li.RSSI = rssi
+		li.Retries += retries
+		li.Rate = n.wireless.Rate(rssi)
+		n.mu.Unlock()
+		if !delivered {
+			if p, ok := n.dp.Port(h.port); ok {
+				p.CountRxDrop()
+			}
+			return
+		}
+	}
+
+	// Conventional-switch shortcut (ablation): unicast frames between
+	// hosts never reach the router.
+	n.mu.Lock()
+	direct := n.directL2
+	n.mu.Unlock()
+	if direct {
+		var e packet.Ethernet
+		if err := e.DecodeFromBytes(frame); err == nil && !e.Dst.IsBroadcast() && !e.Dst.IsMulticast() {
+			if peer, ok := n.Host(e.Dst); ok && peer != h {
+				n.mu.Lock()
+				n.bypass++
+				n.mu.Unlock()
+				peer.Deliver(frame)
+				return
+			}
+		}
+		// Broadcasts reach every host on the segment as well as the router.
+		if err := e.DecodeFromBytes(frame); err == nil && e.Dst.IsBroadcast() {
+			for _, peer := range n.Hosts() {
+				if peer != h {
+					peer.Deliver(frame)
+				}
+			}
+		}
+	}
+	n.dp.Receive(h.port, frame)
+}
+
+// fromUpstream carries an upstream transmission onto the uplink port.
+func (n *Network) fromUpstream(u *Upstream, frame []byte) {
+	n.dp.Receive(u.port, frame)
+}
+
+// LinkInfos returns a snapshot of wireless link state for every station,
+// refreshing RSSI from current positions (so a silent station still
+// reports signal strength, as the artifact's walk-through mode needs).
+func (n *Network) LinkInfos() []LinkInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]LinkInfo, 0, len(n.links))
+	for mac, li := range n.links {
+		if h, ok := n.hosts[mac]; ok {
+			li.RSSI = n.wireless.RSSI(h.Pos().Dist(n.routerAt))
+			li.Rate = n.wireless.Rate(li.RSSI)
+		}
+		out = append(out, *li)
+	}
+	return out
+}
+
+// Step advances every application by dt seconds of simulated traffic.
+func (n *Network) Step(dt float64) {
+	for _, h := range n.Hosts() {
+		for _, a := range h.Apps() {
+			a.Step(dt)
+		}
+	}
+}

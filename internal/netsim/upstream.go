@@ -1,0 +1,261 @@
+package netsim
+
+import (
+	"sync"
+
+	"repro/internal/packet"
+)
+
+// Upstream stands in for the ISP uplink and the public Internet: it
+// answers ARP for every off-home address (it is the default route's next
+// hop), serves an authoritative DNS zone on DNSAddr, and responds to
+// transport flows addressed to any of its server addresses with a
+// service-dependent volume of reply traffic.
+type Upstream struct {
+	MAC     packet.MAC
+	IP      packet.IP4 // next-hop address on the WAN side
+	DNSAddr packet.IP4 // the "8.8.8.8" this network forwards queries to
+
+	net  *Network
+	port uint16
+
+	mu       sync.Mutex
+	localNet packet.IP4
+	localLen int
+	zone     map[string]packet.IP4
+	ratio    map[uint16]float64 // dst port -> response bytes per request byte
+	rxBytes  uint64
+	txBytes  uint64
+	queries  uint64
+}
+
+// NewUpstream builds an upstream with a synthetic zone covering the sites
+// the paper's policy interface names.
+func NewUpstream() *Upstream {
+	u := &Upstream{
+		MAC:     packet.MustMAC("02:ee:00:00:00:01"),
+		IP:      packet.MustIP4("100.64.0.1"),
+		DNSAddr: packet.MustIP4("8.8.8.8"),
+		zone: map[string]packet.IP4{
+			"facebook.com":     packet.MustIP4("157.240.1.35"),
+			"www.facebook.com": packet.MustIP4("157.240.1.35"),
+			"youtube.com":      packet.MustIP4("142.250.180.14"),
+			"www.youtube.com":  packet.MustIP4("142.250.180.14"),
+			"bbc.co.uk":        packet.MustIP4("151.101.0.81"),
+			"www.bbc.co.uk":    packet.MustIP4("151.101.0.81"),
+			"example.com":      packet.MustIP4("93.184.216.34"),
+			"www.example.com":  packet.MustIP4("93.184.216.34"),
+			"iot.example.com":  packet.MustIP4("93.184.216.40"),
+			"voip.example.com": packet.MustIP4("93.184.216.41"),
+			"tracker.example":  packet.MustIP4("93.184.216.50"),
+		},
+		ratio: map[uint16]float64{
+			80:   8,    // web: download-heavy
+			443:  20,   // streaming video
+			5060: 1,    // voip: symmetric
+			6881: 1.5,  // p2p
+			8883: 0.25, // iot telemetry acks
+			53:   2,    // dns
+		},
+	}
+	return u
+}
+
+// SetLocalNet tells the upstream which prefix is the home network, so it
+// never answers ARP for addresses inside it.
+func (u *Upstream) SetLocalNet(prefix packet.IP4, length int) {
+	u.mu.Lock()
+	u.localNet, u.localLen = prefix, length
+	u.mu.Unlock()
+}
+
+// AddZone adds or overrides a DNS name.
+func (u *Upstream) AddZone(name string, ip packet.IP4) {
+	u.mu.Lock()
+	u.zone[name] = ip
+	u.mu.Unlock()
+}
+
+// Lookup resolves a name in the synthetic zone.
+func (u *Upstream) Lookup(name string) (packet.IP4, bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	ip, ok := u.zone[name]
+	return ip, ok
+}
+
+// ReverseLookup finds a name for an address (used by the DNS proxy's
+// reverse path).
+func (u *Upstream) ReverseLookup(ip packet.IP4) (string, bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for name, a := range u.zone {
+		if a == ip {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// Counters returns bytes received/sent and DNS queries answered.
+func (u *Upstream) Counters() (rx, tx, queries uint64) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.rxBytes, u.txBytes, u.queries
+}
+
+// Deliver processes a frame forwarded out of the home.
+func (u *Upstream) Deliver(frame []byte) {
+	u.mu.Lock()
+	u.rxBytes += uint64(len(frame))
+	u.mu.Unlock()
+
+	var d packet.Decoded
+	if err := d.Decode(frame); err != nil {
+		return
+	}
+	switch {
+	case d.HasARP && d.ARP.Op == packet.ARPRequest:
+		// The upstream is the next hop for everything beyond the home —
+		// but it must not claim home-subnet addresses.
+		u.mu.Lock()
+		local := u.localLen > 0 &&
+			d.ARP.TargetIP.Mask(u.localLen) == u.localNet.Mask(u.localLen)
+		u.mu.Unlock()
+		if local {
+			return
+		}
+		reply := packet.NewARPReply(u.MAC, d.ARP.TargetIP, &d.ARP)
+		u.transmit(reply.Bytes())
+	case d.HasUDP && d.UDP.DstPort == packet.DNSPort && d.IP.Dst == u.DNSAddr:
+		u.serveDNS(&d)
+	case d.HasTCP:
+		u.serveTCP(&d)
+	case d.HasUDP:
+		u.serveUDP(&d)
+	}
+}
+
+func (u *Upstream) transmit(frame []byte) {
+	u.mu.Lock()
+	u.txBytes += uint64(len(frame))
+	u.mu.Unlock()
+	u.net.fromUpstream(u, frame)
+}
+
+func (u *Upstream) serveDNS(d *packet.Decoded) {
+	var q packet.DNS
+	if err := q.DecodeFromBytes(d.UDP.Payload); err != nil || len(q.Questions) == 0 {
+		return
+	}
+	u.mu.Lock()
+	u.queries++
+	u.mu.Unlock()
+
+	resp := &packet.DNS{
+		ID: q.ID, Response: true, RD: q.RD, RA: true,
+		Questions: q.Questions,
+	}
+	qu := q.Questions[0]
+	switch qu.Type {
+	case packet.DNSTypeA:
+		if ip, ok := u.Lookup(qu.Name); ok {
+			resp.AnswerA(ip, 300)
+		} else {
+			resp.Rcode = packet.DNSRcodeNXDomain
+		}
+	case packet.DNSTypePTR:
+		if ip, ok := packet.ParseReverseName(qu.Name); ok {
+			if name, found := u.ReverseLookup(ip); found {
+				resp.Answers = append(resp.Answers, packet.DNSRR{
+					Name: qu.Name, Type: packet.DNSTypePTR, Class: packet.DNSClassIN,
+					TTL: 300, Target: name,
+				})
+			} else {
+				resp.Rcode = packet.DNSRcodeNXDomain
+			}
+		} else {
+			resp.Rcode = packet.DNSRcodeNXDomain
+		}
+	default:
+		resp.Rcode = packet.DNSRcodeNXDomain
+	}
+	raw, err := resp.Bytes()
+	if err != nil {
+		return
+	}
+	u.reply(d, raw, packet.ProtoUDP)
+}
+
+// serveTCP answers SYNs with SYN-ACK and data with a service-dependent
+// response volume.
+func (u *Upstream) serveTCP(d *packet.Decoded) {
+	if d.TCP.Flags&packet.TCPSyn != 0 && d.TCP.Flags&packet.TCPAck == 0 {
+		syn := packet.TCP{
+			SrcPort: d.TCP.DstPort, DstPort: d.TCP.SrcPort,
+			Seq: 0, Ack: d.TCP.Seq + 1,
+			Flags: packet.TCPSyn | packet.TCPAck, Window: 65535,
+		}
+		ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoTCP, Src: d.IP.Dst, Dst: d.IP.Src,
+			Payload: syn.Bytes(d.IP.Dst, d.IP.Src)}
+		eth := packet.Ethernet{Dst: d.Eth.Src, Src: u.MAC, Type: packet.EtherTypeIPv4, Payload: ip.Bytes()}
+		u.transmit(eth.Bytes())
+		return
+	}
+	if len(d.TCP.Payload) == 0 {
+		return
+	}
+	u.respondData(d, len(d.TCP.Payload), d.TCP.DstPort, packet.ProtoTCP)
+}
+
+func (u *Upstream) serveUDP(d *packet.Decoded) {
+	if len(d.UDP.Payload) == 0 {
+		return
+	}
+	u.respondData(d, len(d.UDP.Payload), d.UDP.DstPort, packet.ProtoUDP)
+}
+
+// respondData sends ratio-scaled response bytes back toward the client,
+// split into MTU-sized frames (capped to bound simulation cost).
+func (u *Upstream) respondData(d *packet.Decoded, reqLen int, dstPort uint16, proto packet.IPProto) {
+	u.mu.Lock()
+	ratio, ok := u.ratio[dstPort]
+	u.mu.Unlock()
+	if !ok {
+		ratio = 1
+	}
+	total := int(float64(reqLen) * ratio)
+	const mtuPayload = 1400
+	const maxFrames = 32
+	frames := 0
+	for total > 0 && frames < maxFrames {
+		sz := total
+		if sz > mtuPayload {
+			sz = mtuPayload
+		}
+		total -= sz
+		frames++
+		u.reply(d, make([]byte, sz), proto)
+	}
+}
+
+// reply sends a transport payload back to the source of d, addressed at
+// Ethernet level to whoever forwarded the frame (the router's WAN side).
+func (u *Upstream) reply(d *packet.Decoded, payload []byte, proto packet.IPProto) {
+	var ipPayload []byte
+	switch proto {
+	case packet.ProtoUDP:
+		udp := packet.UDP{SrcPort: d.UDP.DstPort, DstPort: d.UDP.SrcPort, Payload: payload}
+		ipPayload = udp.Bytes(d.IP.Dst, d.IP.Src)
+	default:
+		tcp := packet.TCP{
+			SrcPort: d.TCP.DstPort, DstPort: d.TCP.SrcPort,
+			Seq: d.TCP.Ack, Ack: d.TCP.Seq + uint32(len(d.TCP.Payload)),
+			Flags: packet.TCPAck | packet.TCPPsh, Window: 65535, Payload: payload,
+		}
+		ipPayload = tcp.Bytes(d.IP.Dst, d.IP.Src)
+	}
+	ip := packet.IPv4{TTL: 64, Protocol: proto, Src: d.IP.Dst, Dst: d.IP.Src, Payload: ipPayload}
+	eth := packet.Ethernet{Dst: d.Eth.Src, Src: u.MAC, Type: packet.EtherTypeIPv4, Payload: ip.Bytes()}
+	u.transmit(eth.Bytes())
+}

@@ -1,0 +1,110 @@
+// Package netsim simulates the home network the Homework router manages:
+// wired and wireless hosts with small DHCP/ARP/DNS client stacks, traffic
+// applications (web, video streaming, VoIP, peer-to-peer, IoT telemetry),
+// a log-distance wireless propagation model producing per-station RSSI and
+// retry counts, and an upstream host standing in for the ISP and the
+// public Internet.
+//
+// The simulator substitutes for the paper's physical testbed (a small
+// form-factor PC with real Ethernet/WiFi ports): frames enter the datapath
+// through switch ports, so the OpenFlow pipeline, the NOX modules and the
+// measurement plane all run exactly as they would against hardware.
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Pos is a position in the home, in metres; the router sits at the origin.
+type Pos struct{ X, Y float64 }
+
+// Dist returns the Euclidean distance between two positions.
+func (p Pos) Dist(q Pos) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Wireless is a log-distance path-loss model with shadowing:
+//
+//	RSSI(d) = TxPower - (PL0 + 10·n·log10(d/D0)) + N(0, Shadow)
+//
+// mapped onto delivery probability and 802.11g rate tiers.
+type Wireless struct {
+	TxPower  float64 // dBm at the antenna
+	PL0      float64 // path loss at reference distance, dB
+	Exponent float64 // path-loss exponent n
+	D0       float64 // reference distance, metres
+	Shadow   float64 // shadowing stddev, dB
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// DefaultWireless returns parameters typical of a 2.4 GHz home deployment.
+func DefaultWireless(seed int64) *Wireless {
+	return &Wireless{
+		TxPower:  20,
+		PL0:      40,
+		Exponent: 3.0, // indoor with walls
+		D0:       1,
+		Shadow:   2.0,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// RSSI returns the received signal strength in dBm at distance d metres.
+func (w *Wireless) RSSI(d float64) int {
+	if d < w.D0 {
+		d = w.D0
+	}
+	pl := w.PL0 + 10*w.Exponent*math.Log10(d/w.D0)
+	w.mu.Lock()
+	shadow := w.rng.NormFloat64() * w.Shadow
+	w.mu.Unlock()
+	return int(math.Round(w.TxPower - pl + shadow))
+}
+
+// DeliveryProb maps RSSI to first-attempt frame delivery probability: ~1
+// above -65 dBm falling to ~0 below -90 dBm.
+func (w *Wireless) DeliveryProb(rssi int) float64 {
+	// Logistic centred at -80 dBm with a 4 dB slope.
+	return 1 / (1 + math.Exp(-(float64(rssi)+80)/4))
+}
+
+// Retries samples how many retransmissions a frame needs at the given RSSI
+// before success (capped at max; the frame is lost if the cap is hit).
+func (w *Wireless) Retries(rssi int, max int) (retries int, delivered bool) {
+	p := w.DeliveryProb(rssi)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := 0; i <= max; i++ {
+		if w.rng.Float64() < p {
+			return i, true
+		}
+	}
+	return max, false
+}
+
+// Rate maps RSSI to an 802.11g PHY rate in Mbit/s.
+func (w *Wireless) Rate(rssi int) float64 {
+	switch {
+	case rssi >= -55:
+		return 54
+	case rssi >= -60:
+		return 48
+	case rssi >= -65:
+		return 36
+	case rssi >= -70:
+		return 24
+	case rssi >= -75:
+		return 18
+	case rssi >= -80:
+		return 12
+	case rssi >= -85:
+		return 9
+	default:
+		return 6
+	}
+}

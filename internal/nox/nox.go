@@ -1,0 +1,339 @@
+// Package nox implements an event-driven OpenFlow controller framework
+// modelled on NOX, the controller the Homework router runs. Components
+// (the DHCP server, DNS proxy and control API in this repository) register
+// handlers for datapath events; handlers run in registration order and may
+// consume an event to stop the chain, exactly as NOX components do.
+package nox
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/openflow"
+	"repro/internal/packet"
+)
+
+// Disposition is a handler's verdict on an event.
+type Disposition int
+
+// Handler dispositions, as in NOX: Continue passes the event to the next
+// handler, Stop consumes it.
+const (
+	Continue Disposition = iota
+	Stop
+)
+
+// PacketInEvent is delivered for each packet punted to the controller.
+type PacketInEvent struct {
+	Switch  *Switch
+	Msg     *openflow.PacketIn
+	Decoded *packet.Decoded // parsed view of Msg.Data
+}
+
+// JoinEvent is delivered when a datapath completes the handshake.
+type JoinEvent struct {
+	Switch   *Switch
+	Features *openflow.FeaturesReply
+}
+
+// LeaveEvent is delivered when a datapath disconnects.
+type LeaveEvent struct {
+	Switch *Switch
+}
+
+// FlowRemovedEvent is delivered when a flow entry expires or is deleted.
+type FlowRemovedEvent struct {
+	Switch *Switch
+	Msg    *openflow.FlowRemoved
+}
+
+// PortStatusEvent is delivered when a datapath port changes.
+type PortStatusEvent struct {
+	Switch *Switch
+	Msg    *openflow.PortStatus
+}
+
+// Component is a controller module. Configure is called once before the
+// controller starts accepting datapaths; the component registers its event
+// handlers there.
+type Component interface {
+	Name() string
+	Configure(ctl *Controller) error
+}
+
+// Controller accepts datapath connections and dispatches events to
+// registered components.
+type Controller struct {
+	mu         sync.RWMutex
+	components []Component
+	packetIn   []func(*PacketInEvent) Disposition
+	join       []func(*JoinEvent)
+	leave      []func(*LeaveEvent)
+	flowRem    []func(*FlowRemovedEvent)
+	portStatus []func(*PortStatusEvent)
+	switches   map[uint64]*Switch
+
+	ln        net.Listener
+	wg        sync.WaitGroup
+	closed    atomic.Bool
+	echoEvery time.Duration
+
+	// MissSendLen is pushed to each datapath at join (default 128).
+	MissSendLen uint16
+
+	processed atomic.Uint64
+}
+
+// Processed returns how many packet-in events have completed dispatch;
+// paired with Datapath.PuntCount it lets callers wait for the control path
+// to settle.
+func (c *Controller) Processed() uint64 { return c.processed.Load() }
+
+// NewController creates an empty controller.
+func NewController() *Controller {
+	return &Controller{
+		switches:    make(map[uint64]*Switch),
+		MissSendLen: 128,
+		echoEvery:   15 * time.Second,
+	}
+}
+
+// Register adds a component and runs its Configure hook.
+func (c *Controller) Register(comp Component) error {
+	c.mu.Lock()
+	c.components = append(c.components, comp)
+	c.mu.Unlock()
+	if err := comp.Configure(c); err != nil {
+		return fmt.Errorf("nox: configuring %s: %w", comp.Name(), err)
+	}
+	return nil
+}
+
+// Components returns registered component names in order.
+func (c *Controller) Components() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, len(c.components))
+	for i, comp := range c.components {
+		names[i] = comp.Name()
+	}
+	return names
+}
+
+// OnPacketIn registers a packet-in handler; handlers run in registration
+// order until one returns Stop.
+func (c *Controller) OnPacketIn(fn func(*PacketInEvent) Disposition) {
+	c.mu.Lock()
+	c.packetIn = append(c.packetIn, fn)
+	c.mu.Unlock()
+}
+
+// OnJoin registers a datapath-join handler.
+func (c *Controller) OnJoin(fn func(*JoinEvent)) {
+	c.mu.Lock()
+	c.join = append(c.join, fn)
+	c.mu.Unlock()
+}
+
+// OnLeave registers a datapath-leave handler.
+func (c *Controller) OnLeave(fn func(*LeaveEvent)) {
+	c.mu.Lock()
+	c.leave = append(c.leave, fn)
+	c.mu.Unlock()
+}
+
+// OnFlowRemoved registers a flow-removed handler.
+func (c *Controller) OnFlowRemoved(fn func(*FlowRemovedEvent)) {
+	c.mu.Lock()
+	c.flowRem = append(c.flowRem, fn)
+	c.mu.Unlock()
+}
+
+// OnPortStatus registers a port-status handler.
+func (c *Controller) OnPortStatus(fn func(*PortStatusEvent)) {
+	c.mu.Lock()
+	c.portStatus = append(c.portStatus, fn)
+	c.mu.Unlock()
+}
+
+// ListenAndServe accepts datapath connections on a TCP address until Close.
+func (c *Controller) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.ln = ln
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				_ = c.HandleConn(conn)
+			}()
+		}
+	}()
+	return nil
+}
+
+// Addr returns the listen address once ListenAndServe has been called.
+func (c *Controller) Addr() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.ln == nil {
+		return ""
+	}
+	return c.ln.Addr().String()
+}
+
+// Close stops the listener and disconnects all datapaths.
+func (c *Controller) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	c.mu.Lock()
+	ln := c.ln
+	sws := make([]*Switch, 0, len(c.switches))
+	for _, sw := range c.switches {
+		sws = append(sws, sw)
+	}
+	c.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, sw := range sws {
+		sw.close()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// Switch returns a connected datapath by id.
+func (c *Controller) Switch(dpid uint64) (*Switch, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sw, ok := c.switches[dpid]
+	return sw, ok
+}
+
+// Switches returns all connected datapaths.
+func (c *Controller) Switches() []*Switch {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Switch, 0, len(c.switches))
+	for _, sw := range c.switches {
+		out = append(out, sw)
+	}
+	return out
+}
+
+// HandleConn performs the controller side of the OpenFlow handshake on conn
+// and services the connection until it closes. Exposed so in-process
+// datapaths can attach over net.Pipe.
+func (c *Controller) HandleConn(conn net.Conn) error {
+	sw := &Switch{conn: conn, ctl: c, pending: make(map[uint32]chan openflow.Message)}
+
+	if err := openflow.WriteMessage(conn, &openflow.Hello{}); err != nil {
+		conn.Close()
+		return err
+	}
+	msg, err := openflow.ReadMessage(conn)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if _, ok := msg.(*openflow.Hello); !ok {
+		conn.Close()
+		return errors.New("nox: handshake: expected HELLO")
+	}
+
+	// Features exchange. The read loop is not running yet, so read inline.
+	freq := &openflow.FeaturesRequest{}
+	freq.Header.XID = sw.nextXID()
+	if err := openflow.WriteMessage(conn, freq); err != nil {
+		conn.Close()
+		return err
+	}
+	var features *openflow.FeaturesReply
+	for features == nil {
+		msg, err := openflow.ReadMessage(conn)
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		if fr, ok := msg.(*openflow.FeaturesReply); ok {
+			features = fr
+		}
+	}
+	sw.dpid = features.DatapathID
+	sw.features = features
+
+	cfg := &openflow.SetConfig{Flags: openflow.ConfigFragNormal, MissSendLen: c.MissSendLen}
+	cfg.Header.XID = sw.nextXID()
+	if err := openflow.WriteMessage(conn, cfg); err != nil {
+		conn.Close()
+		return err
+	}
+
+	c.mu.Lock()
+	c.switches[sw.dpid] = sw
+	joinHandlers := append([]func(*JoinEvent){}, c.join...)
+	c.mu.Unlock()
+	for _, fn := range joinHandlers {
+		fn(&JoinEvent{Switch: sw, Features: features})
+	}
+
+	err = sw.readLoop()
+
+	c.mu.Lock()
+	if c.switches[sw.dpid] == sw {
+		delete(c.switches, sw.dpid)
+	}
+	leaveHandlers := append([]func(*LeaveEvent){}, c.leave...)
+	c.mu.Unlock()
+	for _, fn := range leaveHandlers {
+		fn(&LeaveEvent{Switch: sw})
+	}
+	return err
+}
+
+func (c *Controller) dispatchPacketIn(ev *PacketInEvent) {
+	c.mu.RLock()
+	handlers := append([]func(*PacketInEvent) Disposition{}, c.packetIn...)
+	c.mu.RUnlock()
+	defer c.processed.Add(1)
+	for _, fn := range handlers {
+		if fn(ev) == Stop {
+			return
+		}
+	}
+}
+
+func (c *Controller) dispatchFlowRemoved(ev *FlowRemovedEvent) {
+	c.mu.RLock()
+	handlers := append([]func(*FlowRemovedEvent){}, c.flowRem...)
+	c.mu.RUnlock()
+	for _, fn := range handlers {
+		fn(ev)
+	}
+}
+
+func (c *Controller) dispatchPortStatus(ev *PortStatusEvent) {
+	c.mu.RLock()
+	handlers := append([]func(*PortStatusEvent){}, c.portStatus...)
+	c.mu.RUnlock()
+	for _, fn := range handlers {
+		fn(ev)
+	}
+}

@@ -1,0 +1,380 @@
+package nox
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datapath"
+	"repro/internal/openflow"
+	"repro/internal/packet"
+)
+
+// testRig is a controller plus one connected datapath over loopback TCP.
+type testRig struct {
+	ctl *Controller
+	dp  *datapath.Datapath
+	sw  *Switch
+}
+
+func newRig(t *testing.T, ctl *Controller) *testRig {
+	t.Helper()
+	if err := ctl.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ctl.Close() })
+
+	joined := make(chan *Switch, 1)
+	ctl.OnJoin(func(ev *JoinEvent) {
+		select {
+		case joined <- ev.Switch:
+		default:
+		}
+	})
+
+	dp := datapath.New(datapath.Config{ID: 0xdead0001})
+	_ = dp.AddPort(&datapath.Port{No: 1, Name: "wlan0"})
+	_ = dp.AddPort(&datapath.Port{No: 2, Name: "eth0"})
+	go func() { _ = dp.ConnectTCP(ctl.Addr()) }()
+	t.Cleanup(dp.Stop)
+
+	select {
+	case sw := <-joined:
+		return &testRig{ctl: ctl, dp: dp, sw: sw}
+	case <-time.After(5 * time.Second):
+		t.Fatal("datapath did not join")
+		return nil
+	}
+}
+
+func TestHandshakeAndFeatures(t *testing.T) {
+	ctl := NewController()
+	rig := newRig(t, ctl)
+	if rig.sw.DPID() != 0xdead0001 {
+		t.Errorf("dpid = %x", rig.sw.DPID())
+	}
+	if len(rig.sw.Features().Ports) != 2 {
+		t.Errorf("ports = %d", len(rig.sw.Features().Ports))
+	}
+	if _, ok := ctl.Switch(0xdead0001); !ok {
+		t.Error("switch not registered")
+	}
+}
+
+func TestEchoAndBarrier(t *testing.T) {
+	ctl := NewController()
+	rig := newRig(t, ctl)
+	if err := rig.sw.Echo([]byte("liveness")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.sw.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketInAndReactiveInstall(t *testing.T) {
+	ctl := NewController()
+	gotPI := make(chan *PacketInEvent, 1)
+	ctl.OnPacketIn(func(ev *PacketInEvent) Disposition {
+		select {
+		case gotPI <- ev:
+		default:
+		}
+		return Stop
+	})
+	rig := newRig(t, ctl)
+
+	frame := packet.NewTCPFrame(
+		packet.MAC{2, 0, 0, 0, 0, 1}, packet.MAC{2, 0, 0, 0, 0, 2},
+		packet.IP4{10, 0, 0, 1}, packet.IP4{10, 0, 0, 2},
+		40000, 80, packet.TCPSyn, 1, nil).Bytes()
+	rig.dp.Receive(1, frame)
+
+	var ev *PacketInEvent
+	select {
+	case ev = <-gotPI:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no packet-in")
+	}
+	if ev.Msg.InPort != 1 || ev.Msg.Reason != openflow.PacketInReasonNoMatch {
+		t.Errorf("packet-in = %+v", ev.Msg)
+	}
+	if !ev.Decoded.HasTCP || ev.Decoded.TCP.DstPort != 80 {
+		t.Errorf("decoded = %+v", ev.Decoded)
+	}
+
+	// Install a flow reactively and release the buffered packet.
+	m := openflow.MatchFromFrame(ev.Decoded, ev.Msg.InPort)
+	if err := ev.Switch.InstallFlow(m, 10, 30, 0,
+		[]openflow.Action{&openflow.ActionOutput{Port: 2}},
+		WithBuffer(ev.Msg.BufferID), WithCookie(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Switch.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if rig.dp.Table().Len() != 1 {
+		t.Fatalf("table len = %d", rig.dp.Table().Len())
+	}
+
+	// The buffered packet was run through the new rule: tx on port 2.
+	p2, _ := rig.dp.Port(2)
+	if p2.Stats().TxPackets != 1 {
+		t.Errorf("buffered packet not released: tx = %d", p2.Stats().TxPackets)
+	}
+
+	// Subsequent packets match in the datapath without another packet-in.
+	rig.dp.Receive(1, frame)
+	if err := rig.sw.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Stats().TxPackets != 2 {
+		t.Errorf("tx = %d, want 2", p2.Stats().TxPackets)
+	}
+	select {
+	case <-gotPI:
+		t.Error("unexpected second packet-in")
+	default:
+	}
+}
+
+func TestFlowStatsAndAggregate(t *testing.T) {
+	ctl := NewController()
+	rig := newRig(t, ctl)
+
+	m := openflow.MatchAll()
+	if err := rig.sw.InstallFlow(m, 1, 0, 0, []openflow.Action{&openflow.ActionOutput{Port: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.sw.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	frame := packet.NewUDPFrame(packet.MAC{1}, packet.MAC{2}, packet.IP4{10, 0, 0, 1}, packet.IP4{10, 0, 0, 2}, 1, 2, make([]byte, 100)).Bytes()
+	for i := 0; i < 5; i++ {
+		rig.dp.Receive(1, frame)
+	}
+
+	stats, err := rig.sw.FlowStats(openflow.MatchAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 || stats[0].PacketCount != 5 {
+		t.Errorf("stats = %+v", stats)
+	}
+	agg, err := rig.sw.AggregateStats(openflow.MatchAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.FlowCount != 1 || agg.PacketCount != 5 {
+		t.Errorf("aggregate = %+v", agg)
+	}
+	ports, err := rig.sw.PortStats(openflow.PortNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ports) != 2 {
+		t.Errorf("port stats = %+v", ports)
+	}
+	tables, err := rig.sw.TableStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].ActiveCount != 1 {
+		t.Errorf("table stats = %+v", tables)
+	}
+}
+
+func TestDeleteFlowsAndFlowRemoved(t *testing.T) {
+	ctl := NewController()
+	removed := make(chan *FlowRemovedEvent, 1)
+	ctl.OnFlowRemoved(func(ev *FlowRemovedEvent) {
+		select {
+		case removed <- ev:
+		default:
+		}
+	})
+	rig := newRig(t, ctl)
+
+	m := openflow.MatchAll()
+	m.Wildcards &^= openflow.FWTPDst
+	m.TPDst = 80
+	if err := rig.sw.InstallFlow(m, 10, 0, 0, nil, WithFlowRemoved(), WithCookie(42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.sw.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.sw.DeleteFlows(openflow.MatchAll()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-removed:
+		if ev.Msg.Cookie != 42 || ev.Msg.Reason != openflow.FlowRemovedDelete {
+			t.Errorf("flow removed = %+v", ev.Msg)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no flow-removed")
+	}
+	if rig.dp.Table().Len() != 0 {
+		t.Errorf("table len = %d", rig.dp.Table().Len())
+	}
+}
+
+func TestHandlerChainStop(t *testing.T) {
+	ctl := NewController()
+	var mu sync.Mutex
+	var calls []string
+	ctl.OnPacketIn(func(ev *PacketInEvent) Disposition {
+		mu.Lock()
+		calls = append(calls, "first")
+		mu.Unlock()
+		if ev.Decoded.HasUDP && ev.Decoded.UDP.DstPort == 53 {
+			return Stop // consume DNS, like the DNS proxy module
+		}
+		return Continue
+	})
+	seen := make(chan struct{}, 2)
+	ctl.OnPacketIn(func(ev *PacketInEvent) Disposition {
+		mu.Lock()
+		calls = append(calls, "second")
+		mu.Unlock()
+		seen <- struct{}{}
+		return Continue
+	})
+	rig := newRig(t, ctl)
+
+	dns := packet.NewUDPFrame(packet.MAC{1}, packet.MAC{2}, packet.IP4{10, 0, 0, 1}, packet.IP4{8, 8, 8, 8}, 5000, 53, nil).Bytes()
+	rig.dp.Receive(1, dns)
+	web := packet.NewTCPFrame(packet.MAC{1}, packet.MAC{2}, packet.IP4{10, 0, 0, 1}, packet.IP4{8, 8, 8, 8}, 5000, 80, packet.TCPSyn, 0, nil).Bytes()
+	rig.dp.Receive(1, web)
+
+	select {
+	case <-seen:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second handler never ran")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// DNS → first only; web → first, second.
+	want := []string{"first", "first", "second"}
+	if len(calls) != len(want) {
+		t.Fatalf("calls = %v", calls)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("calls = %v, want %v", calls, want)
+		}
+	}
+}
+
+func TestSendPacketOut(t *testing.T) {
+	ctl := NewController()
+	rig := newRig(t, ctl)
+	var mu sync.Mutex
+	var got [][]byte
+	p1, _ := rig.dp.Port(1)
+	p1.SetOut(func(f []byte) {
+		mu.Lock()
+		got = append(got, append([]byte(nil), f...))
+		mu.Unlock()
+	})
+	frame := packet.NewUDPFrame(packet.MAC{9}, packet.MAC{1}, packet.IP4{192, 168, 1, 1}, packet.IP4{192, 168, 1, 10}, 67, 68, []byte("dhcp")).Bytes()
+	if err := rig.sw.SendPacket(frame, openflow.PortNone, &openflow.ActionOutput{Port: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.sw.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || len(got[0]) != len(frame) {
+		t.Fatalf("packet-out delivered %d frames", len(got))
+	}
+}
+
+func TestComponentRegistration(t *testing.T) {
+	ctl := NewController()
+	comp := &l2Switch{table: map[packet.MAC]uint16{}}
+	if err := ctl.Register(comp); err != nil {
+		t.Fatal(err)
+	}
+	if names := ctl.Components(); len(names) != 1 || names[0] != "l2-switch" {
+		t.Errorf("components = %v", names)
+	}
+	rig := newRig(t, ctl)
+
+	var mu sync.Mutex
+	tx := map[uint16]int{}
+	for _, no := range []uint16{1, 2} {
+		p, _ := rig.dp.Port(no)
+		n := no
+		p.SetOut(func([]byte) {
+			mu.Lock()
+			tx[n]++
+			mu.Unlock()
+		})
+	}
+
+	macA := packet.MAC{2, 0, 0, 0, 0, 0xa}
+	macB := packet.MAC{2, 0, 0, 0, 0, 0xb}
+	aToB := packet.NewUDPFrame(macA, macB, packet.IP4{10, 0, 0, 1}, packet.IP4{10, 0, 0, 2}, 1, 2, nil).Bytes()
+	bToA := packet.NewUDPFrame(macB, macA, packet.IP4{10, 0, 0, 2}, packet.IP4{10, 0, 0, 1}, 2, 1, nil).Bytes()
+
+	// A is unknown: flood. Then B replies: unicast to A's learned port.
+	rig.dp.Receive(1, aToB)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		flooded := tx[2] >= 1
+		mu.Unlock()
+		if flooded || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rig.dp.Receive(2, bToA)
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		done := tx[1] >= 1
+		mu.Unlock()
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if tx[1] < 1 {
+		t.Errorf("learned unicast not delivered: tx=%v", tx)
+	}
+}
+
+// l2Switch is a minimal learning-switch component used to exercise the
+// component API the Homework modules build on.
+type l2Switch struct {
+	mu    sync.Mutex
+	table map[packet.MAC]uint16
+}
+
+func (l *l2Switch) Name() string { return "l2-switch" }
+
+func (l *l2Switch) Configure(ctl *Controller) error {
+	ctl.OnPacketIn(func(ev *PacketInEvent) Disposition {
+		l.mu.Lock()
+		l.table[ev.Decoded.Eth.Src] = ev.Msg.InPort
+		out, known := l.table[ev.Decoded.Eth.Dst]
+		l.mu.Unlock()
+		if !known {
+			_ = ev.Switch.ReleaseBuffer(ev.Msg.BufferID, ev.Msg.InPort,
+				&openflow.ActionOutput{Port: openflow.PortFlood})
+			return Stop
+		}
+		m := openflow.MatchFromFrame(ev.Decoded, ev.Msg.InPort)
+		_ = ev.Switch.InstallFlow(m, 10, 60, 0,
+			[]openflow.Action{&openflow.ActionOutput{Port: out}},
+			WithBuffer(ev.Msg.BufferID))
+		return Stop
+	})
+	return nil
+}

@@ -1,0 +1,277 @@
+package nox
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/openflow"
+	"repro/internal/packet"
+)
+
+// Switch is the controller's handle on one connected datapath.
+type Switch struct {
+	ctl      *Controller
+	conn     net.Conn
+	dpid     uint64
+	features *openflow.FeaturesReply
+
+	writeMu sync.Mutex
+	xid     atomic.Uint32
+
+	pendingMu sync.Mutex
+	pending   map[uint32]chan openflow.Message
+
+	closeOnce sync.Once
+}
+
+// DPID returns the datapath identifier.
+func (sw *Switch) DPID() uint64 { return sw.dpid }
+
+// Features returns the features reply captured at handshake.
+func (sw *Switch) Features() *openflow.FeaturesReply { return sw.features }
+
+func (sw *Switch) nextXID() uint32 { return sw.xid.Add(1) }
+
+func (sw *Switch) close() { sw.closeOnce.Do(func() { _ = sw.conn.Close() }) }
+
+// Send writes one message to the datapath.
+func (sw *Switch) Send(msg openflow.Message) error {
+	sw.writeMu.Lock()
+	defer sw.writeMu.Unlock()
+	return openflow.WriteMessage(sw.conn, msg)
+}
+
+// readLoop services switch-to-controller messages, routing replies to
+// pending synchronous requests and everything else to event handlers.
+func (sw *Switch) readLoop() error {
+	for {
+		msg, err := openflow.ReadMessage(sw.conn)
+		if err != nil {
+			sw.close()
+			sw.failPending(err)
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		xid := msg.Hdr().XID
+		if ch := sw.takePending(xid); ch != nil {
+			ch <- msg
+			continue
+		}
+		switch m := msg.(type) {
+		case *openflow.EchoRequest:
+			rep := &openflow.EchoReply{Data: m.Data}
+			rep.Header.XID = m.Header.XID
+			_ = sw.Send(rep)
+		case *openflow.PacketIn:
+			var d packet.Decoded
+			_ = d.Decode(m.Data) // partial decode is fine; handlers check Has*
+			sw.ctl.dispatchPacketIn(&PacketInEvent{Switch: sw, Msg: m, Decoded: &d})
+		case *openflow.FlowRemoved:
+			sw.ctl.dispatchFlowRemoved(&FlowRemovedEvent{Switch: sw, Msg: m})
+		case *openflow.PortStatus:
+			sw.ctl.dispatchPortStatus(&PortStatusEvent{Switch: sw, Msg: m})
+		case *openflow.ErrorMsg:
+			// Errors not tied to a pending request are logged by dropping;
+			// a production controller would surface these.
+		default:
+			// Unsolicited replies (stats for timed-out requests etc.).
+		}
+	}
+}
+
+func (sw *Switch) addPending(xid uint32) chan openflow.Message {
+	ch := make(chan openflow.Message, 1)
+	sw.pendingMu.Lock()
+	sw.pending[xid] = ch
+	sw.pendingMu.Unlock()
+	return ch
+}
+
+func (sw *Switch) takePending(xid uint32) chan openflow.Message {
+	sw.pendingMu.Lock()
+	defer sw.pendingMu.Unlock()
+	ch, ok := sw.pending[xid]
+	if ok {
+		delete(sw.pending, xid)
+	}
+	return ch
+}
+
+func (sw *Switch) failPending(err error) {
+	sw.pendingMu.Lock()
+	for xid, ch := range sw.pending {
+		close(ch)
+		delete(sw.pending, xid)
+	}
+	sw.pendingMu.Unlock()
+}
+
+// request sends msg and waits for the reply with the same xid.
+func (sw *Switch) request(msg openflow.Message, timeout time.Duration) (openflow.Message, error) {
+	xid := sw.nextXID()
+	msg.Hdr().XID = xid
+	ch := sw.addPending(xid)
+	if err := sw.Send(msg); err != nil {
+		sw.takePending(xid)
+		return nil, err
+	}
+	select {
+	case rep, ok := <-ch:
+		if !ok {
+			return nil, errors.New("nox: connection closed")
+		}
+		if em, isErr := rep.(*openflow.ErrorMsg); isErr {
+			return nil, em
+		}
+		return rep, nil
+	case <-time.After(timeout):
+		sw.takePending(xid)
+		return nil, errors.New("nox: request timed out")
+	}
+}
+
+// InstallFlow adds a flow entry.
+func (sw *Switch) InstallFlow(match openflow.Match, priority uint16, idle, hard uint16, actions []openflow.Action, opts ...FlowOpt) error {
+	fm := &openflow.FlowMod{
+		Match: match, Command: openflow.FlowModAdd,
+		IdleTimeout: idle, HardTimeout: hard, Priority: priority,
+		BufferID: openflow.NoBuffer, OutPort: openflow.PortNone,
+		Actions: actions,
+	}
+	for _, o := range opts {
+		o(fm)
+	}
+	fm.Header.XID = sw.nextXID()
+	return sw.Send(fm)
+}
+
+// FlowOpt customizes an InstallFlow flow-mod.
+type FlowOpt func(*openflow.FlowMod)
+
+// WithBuffer applies the flow-mod to a buffered packet.
+func WithBuffer(id uint32) FlowOpt {
+	return func(fm *openflow.FlowMod) { fm.BufferID = id }
+}
+
+// WithCookie tags the entry.
+func WithCookie(c uint64) FlowOpt {
+	return func(fm *openflow.FlowMod) { fm.Cookie = c }
+}
+
+// WithFlowRemoved requests a flow-removed notification.
+func WithFlowRemoved() FlowOpt {
+	return func(fm *openflow.FlowMod) { fm.Flags |= openflow.FlowModFlagSendFlowRem }
+}
+
+// DeleteFlows removes all entries subsumed by match.
+func (sw *Switch) DeleteFlows(match openflow.Match) error {
+	fm := &openflow.FlowMod{
+		Match: match, Command: openflow.FlowModDelete,
+		BufferID: openflow.NoBuffer, OutPort: openflow.PortNone,
+	}
+	fm.Header.XID = sw.nextXID()
+	return sw.Send(fm)
+}
+
+// SendPacket transmits a frame through an action list (packet-out).
+func (sw *Switch) SendPacket(frame []byte, inPort uint16, actions ...openflow.Action) error {
+	po := &openflow.PacketOut{
+		BufferID: openflow.NoBuffer, InPort: inPort,
+		Actions: actions, Data: frame,
+	}
+	po.Header.XID = sw.nextXID()
+	return sw.Send(po)
+}
+
+// ReleaseBuffer tells the datapath to forward buffered packet id through
+// actions (packet-out referencing the buffer).
+func (sw *Switch) ReleaseBuffer(id uint32, inPort uint16, actions ...openflow.Action) error {
+	po := &openflow.PacketOut{BufferID: id, InPort: inPort, Actions: actions}
+	po.Header.XID = sw.nextXID()
+	return sw.Send(po)
+}
+
+// FlowStats queries flow statistics.
+func (sw *Switch) FlowStats(match openflow.Match) ([]openflow.FlowStats, error) {
+	req := &openflow.StatsRequest{
+		StatsType: openflow.StatsFlow,
+		Flow:      openflow.FlowStatsRequest{Match: match, TableID: 0xff, OutPort: openflow.PortNone},
+	}
+	rep, err := sw.request(req, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	sr, ok := rep.(*openflow.StatsReply)
+	if !ok {
+		return nil, errors.New("nox: unexpected reply type")
+	}
+	return sr.Flows, nil
+}
+
+// PortStats queries port counters (PortNone = all ports).
+func (sw *Switch) PortStats(portNo uint16) ([]openflow.PortStats, error) {
+	req := &openflow.StatsRequest{StatsType: openflow.StatsPort, Port: openflow.PortStatsRequest{PortNo: portNo}}
+	rep, err := sw.request(req, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	sr, ok := rep.(*openflow.StatsReply)
+	if !ok {
+		return nil, errors.New("nox: unexpected reply type")
+	}
+	return sr.Ports, nil
+}
+
+// TableStats queries table counters.
+func (sw *Switch) TableStats() ([]openflow.TableStats, error) {
+	req := &openflow.StatsRequest{StatsType: openflow.StatsTable}
+	rep, err := sw.request(req, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	sr, ok := rep.(*openflow.StatsReply)
+	if !ok {
+		return nil, errors.New("nox: unexpected reply type")
+	}
+	return sr.Tables, nil
+}
+
+// AggregateStats queries aggregate flow counters for match.
+func (sw *Switch) AggregateStats(match openflow.Match) (openflow.AggregateStats, error) {
+	req := &openflow.StatsRequest{
+		StatsType: openflow.StatsAggregate,
+		Flow:      openflow.FlowStatsRequest{Match: match, TableID: 0xff, OutPort: openflow.PortNone},
+	}
+	rep, err := sw.request(req, 5*time.Second)
+	if err != nil {
+		return openflow.AggregateStats{}, err
+	}
+	sr, ok := rep.(*openflow.StatsReply)
+	if !ok {
+		return openflow.AggregateStats{}, errors.New("nox: unexpected reply type")
+	}
+	return sr.Aggregate, nil
+}
+
+// Barrier round-trips a barrier request.
+func (sw *Switch) Barrier() error {
+	_, err := sw.request(&openflow.BarrierRequest{}, 5*time.Second)
+	return err
+}
+
+// Echo round-trips an echo request (liveness probe).
+func (sw *Switch) Echo(data []byte) error {
+	rep, err := sw.request(&openflow.EchoRequest{Data: data}, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	if _, ok := rep.(*openflow.EchoReply); !ok {
+		return errors.New("nox: unexpected echo reply type")
+	}
+	return nil
+}

@@ -1,0 +1,596 @@
+package openflow
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+)
+
+// roundTrip encodes msg, decodes it back, and returns the decoded message.
+func roundTrip(t *testing.T, msg Message) Message {
+	t.Helper()
+	raw := Encode(msg)
+	var h Header
+	if err := h.decode(raw); err != nil {
+		t.Fatalf("header decode: %v", err)
+	}
+	if int(h.Length) != len(raw) {
+		t.Fatalf("header length %d != encoded length %d", h.Length, len(raw))
+	}
+	got, err := Decode(h, raw[HeaderLen:])
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return got
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	m := &Hello{}
+	m.Header.XID = 42
+	got := roundTrip(t, m).(*Hello)
+	if got.Header.XID != 42 || got.Header.Type != TypeHello {
+		t.Errorf("got %+v", got.Header)
+	}
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	m := &EchoRequest{Data: []byte("ping")}
+	got := roundTrip(t, m).(*EchoRequest)
+	if !bytes.Equal(got.Data, []byte("ping")) {
+		t.Errorf("data = %q", got.Data)
+	}
+	r := &EchoReply{Data: []byte("pong")}
+	gr := roundTrip(t, r).(*EchoReply)
+	if !bytes.Equal(gr.Data, []byte("pong")) {
+		t.Errorf("data = %q", gr.Data)
+	}
+}
+
+func TestErrorMsgRoundTrip(t *testing.T) {
+	m := &ErrorMsg{ErrType: ErrTypeFlowModFailed, Code: FlowModOverlap, Data: []byte("bad")}
+	got := roundTrip(t, m).(*ErrorMsg)
+	if got.ErrType != ErrTypeFlowModFailed || got.Code != FlowModOverlap {
+		t.Errorf("got %+v", got)
+	}
+	if got.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestFeaturesReplyRoundTrip(t *testing.T) {
+	m := &FeaturesReply{
+		DatapathID:   0x00163e0000000001,
+		NBuffers:     256,
+		NTables:      2,
+		Capabilities: CapFlowStats | CapPortStats | CapTableStats,
+		Actions:      0xfff,
+		Ports: []PhyPort{
+			{PortNo: 1, HWAddr: packet.MustMAC("02:00:00:00:00:01"), Name: "wlan0"},
+			{PortNo: 2, HWAddr: packet.MustMAC("02:00:00:00:00:02"), Name: "eth0", State: PortStateLinkDown},
+		},
+	}
+	got := roundTrip(t, m).(*FeaturesReply)
+	if got.DatapathID != m.DatapathID || len(got.Ports) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Ports[0].Name != "wlan0" || got.Ports[1].State != PortStateLinkDown {
+		t.Errorf("ports = %+v", got.Ports)
+	}
+}
+
+func TestPacketInRoundTrip(t *testing.T) {
+	m := &PacketIn{BufferID: NoBuffer, TotalLen: 128, InPort: 3, Reason: PacketInReasonNoMatch, Data: []byte{1, 2, 3, 4}}
+	got := roundTrip(t, m).(*PacketIn)
+	if got.BufferID != NoBuffer || got.InPort != 3 || !bytes.Equal(got.Data, m.Data) {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestPacketOutRoundTrip(t *testing.T) {
+	m := &PacketOut{
+		BufferID: NoBuffer,
+		InPort:   PortNone,
+		Actions:  []Action{&ActionOutput{Port: PortFlood, MaxLen: 0}},
+		Data:     []byte("frame-bytes"),
+	}
+	got := roundTrip(t, m).(*PacketOut)
+	if len(got.Actions) != 1 || !bytes.Equal(got.Data, m.Data) {
+		t.Fatalf("got %+v", got)
+	}
+	if out, ok := got.Actions[0].(*ActionOutput); !ok || out.Port != PortFlood {
+		t.Errorf("action = %#v", got.Actions[0])
+	}
+}
+
+func TestFlowModRoundTrip(t *testing.T) {
+	match := MatchAll()
+	match.Wildcards &^= FWDLType | FWNWProto
+	match.DLType = packet.EtherTypeIPv4
+	match.NWProto = uint8(packet.ProtoTCP)
+	m := &FlowMod{
+		Match:       match,
+		Cookie:      0xfeed,
+		Command:     FlowModAdd,
+		IdleTimeout: 30,
+		HardTimeout: 300,
+		Priority:    100,
+		BufferID:    NoBuffer,
+		OutPort:     PortNone,
+		Flags:       FlowModFlagSendFlowRem,
+		Actions: []Action{
+			&ActionSetDLDst{Addr: packet.MustMAC("02:aa:bb:cc:dd:ee")},
+			&ActionOutput{Port: 1},
+		},
+	}
+	got := roundTrip(t, m).(*FlowMod)
+	if got.Cookie != 0xfeed || got.Priority != 100 || len(got.Actions) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Match.DLType != packet.EtherTypeIPv4 || got.Match.NWProto != 6 {
+		t.Errorf("match = %+v", got.Match)
+	}
+	if _, ok := got.Actions[0].(*ActionSetDLDst); !ok {
+		t.Errorf("action 0 = %#v", got.Actions[0])
+	}
+}
+
+func TestFlowRemovedRoundTrip(t *testing.T) {
+	m := &FlowRemoved{
+		Match: MatchAll(), Cookie: 7, Priority: 5, Reason: FlowRemovedIdleTimeout,
+		DurationSec: 12, DurationNsec: 500, IdleTimeout: 10,
+		PacketCount: 99, ByteCount: 12345,
+	}
+	got := roundTrip(t, m).(*FlowRemoved)
+	if got.PacketCount != 99 || got.ByteCount != 12345 || got.Reason != FlowRemovedIdleTimeout {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestPortStatusRoundTrip(t *testing.T) {
+	m := &PortStatus{Reason: PortStatusAdd, Desc: PhyPort{PortNo: 4, Name: "wlan1"}}
+	got := roundTrip(t, m).(*PortStatus)
+	if got.Reason != PortStatusAdd || got.Desc.Name != "wlan1" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	m := &SetConfig{Flags: ConfigFragNormal, MissSendLen: 128}
+	got := roundTrip(t, m).(*SetConfig)
+	if got.MissSendLen != 128 {
+		t.Errorf("got %+v", got)
+	}
+	r := &GetConfigReply{MissSendLen: 96}
+	gr := roundTrip(t, r).(*GetConfigReply)
+	if gr.MissSendLen != 96 {
+		t.Errorf("got %+v", gr)
+	}
+}
+
+func TestStatsDescRoundTrip(t *testing.T) {
+	m := &StatsReply{
+		StatsType: StatsDesc,
+		Desc: DescStats{
+			MfrDesc: "Homework Project", HWDesc: "soft datapath",
+			SWDesc: "repro", SerialNum: "1", DPDesc: "home router",
+		},
+	}
+	got := roundTrip(t, m).(*StatsReply)
+	if got.Desc.MfrDesc != "Homework Project" || got.Desc.DPDesc != "home router" {
+		t.Errorf("got %+v", got.Desc)
+	}
+}
+
+func TestStatsFlowRoundTrip(t *testing.T) {
+	req := &StatsRequest{StatsType: StatsFlow, Flow: FlowStatsRequest{Match: MatchAll(), TableID: 0xff, OutPort: PortNone}}
+	greq := roundTrip(t, req).(*StatsRequest)
+	if greq.Flow.TableID != 0xff || greq.Flow.OutPort != PortNone {
+		t.Fatalf("got %+v", greq.Flow)
+	}
+
+	rep := &StatsReply{
+		StatsType: StatsFlow,
+		Flows: []FlowStats{
+			{
+				TableID: 0, Match: MatchAll(), DurationSec: 10, Priority: 1,
+				IdleTimeout: 60, Cookie: 0xc0ffee, PacketCount: 42, ByteCount: 4200,
+				Actions: []Action{&ActionOutput{Port: 2}},
+			},
+			{TableID: 0, Match: MatchAll(), Cookie: 2},
+		},
+	}
+	grep := roundTrip(t, rep).(*StatsReply)
+	if len(grep.Flows) != 2 {
+		t.Fatalf("flows = %d", len(grep.Flows))
+	}
+	if grep.Flows[0].Cookie != 0xc0ffee || grep.Flows[0].ByteCount != 4200 || len(grep.Flows[0].Actions) != 1 {
+		t.Errorf("flow 0 = %+v", grep.Flows[0])
+	}
+}
+
+func TestStatsAggregateRoundTrip(t *testing.T) {
+	m := &StatsReply{StatsType: StatsAggregate, Aggregate: AggregateStats{PacketCount: 1, ByteCount: 2, FlowCount: 3}}
+	got := roundTrip(t, m).(*StatsReply)
+	if got.Aggregate != m.Aggregate {
+		t.Errorf("got %+v", got.Aggregate)
+	}
+}
+
+func TestStatsTableAndPortRoundTrip(t *testing.T) {
+	tm := &StatsReply{StatsType: StatsTable, Tables: []TableStats{
+		{TableID: 0, Name: "classifier", Wildcards: FWAll, MaxEntries: 1 << 20, ActiveCount: 17, LookupCount: 1000, MatchedCount: 900},
+	}}
+	gt := roundTrip(t, tm).(*StatsReply)
+	if len(gt.Tables) != 1 || gt.Tables[0].Name != "classifier" || gt.Tables[0].MatchedCount != 900 {
+		t.Errorf("got %+v", gt.Tables)
+	}
+
+	pm := &StatsReply{StatsType: StatsPort, Ports: []PortStats{
+		{PortNo: 1, RxPackets: 10, TxBytes: 999, Collisions: 1},
+		{PortNo: 2, RxErrors: 5},
+	}}
+	gp := roundTrip(t, pm).(*StatsReply)
+	if len(gp.Ports) != 2 || gp.Ports[0].TxBytes != 999 || gp.Ports[1].RxErrors != 5 {
+		t.Errorf("got %+v", gp.Ports)
+	}
+}
+
+func TestAllActionsRoundTrip(t *testing.T) {
+	actions := []Action{
+		&ActionOutput{Port: 7, MaxLen: 128},
+		&ActionSetVLANVID{VID: 100},
+		&ActionSetVLANPCP{PCP: 3},
+		&ActionStripVLAN{},
+		&ActionSetDLSrc{Addr: packet.MustMAC("02:00:00:00:00:01")},
+		&ActionSetDLDst{Addr: packet.MustMAC("02:00:00:00:00:02")},
+		&ActionSetNWSrc{Addr: packet.MustIP4("10.0.0.1")},
+		&ActionSetNWDst{Addr: packet.MustIP4("10.0.0.2")},
+		&ActionSetNWTOS{TOS: 0x10},
+		&ActionSetTPSrc{Port: 8080},
+		&ActionSetTPDst{Port: 80},
+		&ActionEnqueue{Port: 1, QueueID: 9},
+	}
+	raw := encodeActions(nil, actions)
+	if len(raw)%8 != 0 {
+		t.Fatalf("actions not 8-byte aligned: %d", len(raw))
+	}
+	got, err := decodeActions(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, actions) {
+		t.Errorf("round trip mismatch:\n got %#v\nwant %#v", got, actions)
+	}
+	for _, a := range got {
+		if a.String() == "" {
+			t.Errorf("%T has empty String()", a)
+		}
+	}
+}
+
+func TestDecodeActionsRejectsBadLength(t *testing.T) {
+	raw := encodeActions(nil, []Action{&ActionOutput{Port: 1}})
+	raw[3] = 7 // not a multiple of 8
+	if _, err := decodeActions(raw); err == nil {
+		t.Error("bad action length accepted")
+	}
+}
+
+func TestMatchExactFromFrame(t *testing.T) {
+	f := packet.NewTCPFrame(
+		packet.MustMAC("02:00:00:00:00:01"), packet.MustMAC("02:00:00:00:00:02"),
+		packet.MustIP4("10.0.0.2"), packet.MustIP4("8.8.8.8"), 49152, 443, packet.TCPSyn, 1, nil)
+	var d packet.Decoded
+	if err := d.Decode(f.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	m := MatchFromFrame(&d, 3)
+	if !m.Matches(&d, 3) {
+		t.Error("exact match does not match its own frame")
+	}
+	if m.Matches(&d, 4) {
+		t.Error("match ignores in_port")
+	}
+	if !m.IsExact() {
+		t.Error("MatchFromFrame(IP/TCP) should be exact")
+	}
+
+	// Changing the destination port must break the match.
+	f2 := packet.NewTCPFrame(
+		packet.MustMAC("02:00:00:00:00:01"), packet.MustMAC("02:00:00:00:00:02"),
+		packet.MustIP4("10.0.0.2"), packet.MustIP4("8.8.8.8"), 49152, 80, packet.TCPSyn, 1, nil)
+	var d2 packet.Decoded
+	if err := d2.Decode(f2.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if m.Matches(&d2, 3) {
+		t.Error("match ignores tp_dst")
+	}
+}
+
+func TestMatchWildcards(t *testing.T) {
+	f := packet.NewUDPFrame(
+		packet.MustMAC("02:00:00:00:00:01"), packet.MustMAC("02:00:00:00:00:02"),
+		packet.MustIP4("192.168.1.10"), packet.MustIP4("192.168.1.1"), 5000, 53, []byte("x"))
+	var d packet.Decoded
+	if err := d.Decode(f.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	all := MatchAll()
+	if !all.Matches(&d, 1) {
+		t.Error("MatchAll does not match")
+	}
+
+	// Match any UDP-to-port-53 traffic (the DNS interception rule).
+	dns := MatchAll()
+	dns.Wildcards &^= FWDLType | FWNWProto | FWTPDst
+	dns.DLType = packet.EtherTypeIPv4
+	dns.NWProto = uint8(packet.ProtoUDP)
+	dns.TPDst = 53
+	if !dns.Matches(&d, 1) {
+		t.Error("DNS rule does not match DNS packet")
+	}
+
+	// Subnet match on nw_src.
+	sub := MatchAll()
+	sub.Wildcards &^= FWDLType
+	sub.DLType = packet.EtherTypeIPv4
+	sub.NWSrc = packet.MustIP4("192.168.1.0")
+	sub.SetNWSrcPrefix(24)
+	if !sub.Matches(&d, 1) {
+		t.Error("/24 src match failed")
+	}
+	sub.NWSrc = packet.MustIP4("192.168.2.0")
+	if sub.Matches(&d, 1) {
+		t.Error("/24 src match matched wrong subnet")
+	}
+}
+
+func TestMatchARPFields(t *testing.T) {
+	req := packet.NewARPRequest(packet.MustMAC("02:00:00:00:00:01"),
+		packet.MustIP4("10.0.0.2"), packet.MustIP4("10.0.0.1"))
+	var d packet.Decoded
+	if err := d.Decode(req.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	m := MatchAll()
+	m.Wildcards &^= FWDLType | FWNWProto
+	m.DLType = packet.EtherTypeARP
+	m.NWProto = uint8(packet.ARPRequest)
+	if !m.Matches(&d, 1) {
+		t.Error("ARP opcode match failed")
+	}
+	m.NWProto = uint8(packet.ARPReply)
+	if m.Matches(&d, 1) {
+		t.Error("ARP opcode mismatch accepted")
+	}
+}
+
+func TestMatchSubsumes(t *testing.T) {
+	exact := Match{DLType: packet.EtherTypeIPv4, NWProto: 6, TPDst: 80}
+	exact.Wildcards = FWAll &^ (FWDLType | FWNWProto | FWTPDst)
+
+	broad := MatchAll()
+	if !broad.Subsumes(&exact) {
+		t.Error("match-all should subsume everything")
+	}
+	if exact.Subsumes(&broad) {
+		t.Error("narrow match subsumes broad")
+	}
+	if !exact.Subsumes(&exact) {
+		t.Error("match should subsume itself")
+	}
+
+	srcNet := MatchAll()
+	srcNet.NWSrc = packet.MustIP4("10.0.0.0")
+	srcNet.SetNWSrcPrefix(8)
+	host := MatchAll()
+	host.NWSrc = packet.MustIP4("10.1.2.3")
+	host.SetNWSrcPrefix(32)
+	if !srcNet.Subsumes(&host) {
+		t.Error("/8 should subsume /32 within it")
+	}
+	outside := MatchAll()
+	outside.NWSrc = packet.MustIP4("11.0.0.1")
+	outside.SetNWSrcPrefix(32)
+	if srcNet.Subsumes(&outside) {
+		t.Error("/8 subsumed address outside the prefix")
+	}
+}
+
+func TestMatchString(t *testing.T) {
+	m := MatchAll()
+	if m.String() != "any" {
+		t.Errorf("MatchAll().String() = %q", m.String())
+	}
+	m.Wildcards &^= FWDLType | FWTPDst
+	m.DLType = packet.EtherTypeIPv4
+	m.TPDst = 53
+	s := m.String()
+	if s == "any" || s == "" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestApplyActionsRewrite(t *testing.T) {
+	f := packet.NewTCPFrame(
+		packet.MustMAC("02:00:00:00:00:01"), packet.MustMAC("02:00:00:00:00:02"),
+		packet.MustIP4("10.0.0.2"), packet.MustIP4("8.8.8.8"), 1234, 80, packet.TCPAck, 9, []byte("data"))
+	raw := f.Bytes()
+	newDst := packet.MustMAC("02:ff:ff:ff:ff:ff")
+	out, ports := ApplyActions(raw, []Action{
+		&ActionSetDLDst{Addr: newDst},
+		&ActionSetNWDst{Addr: packet.MustIP4("1.1.1.1")},
+		&ActionSetTPDst{Port: 8080},
+		&ActionOutput{Port: 5},
+	})
+	if len(ports) != 1 || ports[0] != 5 {
+		t.Fatalf("ports = %v", ports)
+	}
+	var d packet.Decoded
+	if err := d.Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	if d.Eth.Dst != newDst || d.IP.Dst != packet.MustIP4("1.1.1.1") || d.TCP.DstPort != 8080 {
+		t.Errorf("rewrite failed: %+v %+v %+v", d.Eth.Dst, d.IP.Dst, d.TCP.DstPort)
+	}
+	// Checksums must still verify after rewrite.
+	if cs := packet.Checksum(d.Eth.Payload[:packet.IPv4HeaderLen], 0); cs != 0 {
+		t.Error("IP checksum invalid after rewrite")
+	}
+}
+
+func TestApplyActionsMultiOutput(t *testing.T) {
+	f := packet.NewUDPFrame(packet.MAC{1}, packet.MAC{2}, packet.IP4{10, 0, 0, 1}, packet.IP4{10, 0, 0, 2}, 1, 2, nil)
+	_, ports := ApplyActions(f.Bytes(), []Action{
+		&ActionOutput{Port: 1}, &ActionOutput{Port: 2}, &ActionOutput{Port: PortController},
+	})
+	if !reflect.DeepEqual(ports, []uint16{1, 2, PortController}) {
+		t.Errorf("ports = %v", ports)
+	}
+}
+
+func TestApplyActionsRewriteAppliesPerOutput(t *testing.T) {
+	// OpenFlow semantics: set-field actions affect only subsequent outputs.
+	f := packet.NewUDPFrame(packet.MAC{1}, packet.MAC{2}, packet.IP4{10, 0, 0, 1}, packet.IP4{10, 0, 0, 2}, 1, 2, nil)
+	out, ports := ApplyActions(f.Bytes(), []Action{
+		&ActionOutput{Port: 1},
+		&ActionSetNWDst{Addr: packet.MustIP4("99.99.99.99")},
+		&ActionOutput{Port: 2},
+	})
+	if len(ports) != 2 {
+		t.Fatalf("ports = %v", ports)
+	}
+	var d packet.Decoded
+	if err := d.Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	if d.IP.Dst != packet.MustIP4("99.99.99.99") {
+		t.Errorf("final frame dst = %v", d.IP.Dst)
+	}
+}
+
+func TestReadWriteMessageOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		for i := 0; i < 3; i++ {
+			msg, err := ReadMessage(conn)
+			if err != nil {
+				done <- err
+				return
+			}
+			if err := WriteMessage(conn, msg); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	msgs := []Message{
+		&Hello{},
+		&EchoRequest{Data: []byte("hw")},
+		&FlowMod{Match: MatchAll(), Command: FlowModAdd, BufferID: NoBuffer, OutPort: PortNone,
+			Actions: []Action{&ActionOutput{Port: PortNormal}}},
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(conn, m); err != nil {
+			t.Fatal(err)
+		}
+		echo, err := ReadMessage(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.TypeOf(echo) != reflect.TypeOf(m) {
+			t.Errorf("echoed %T, sent %T", echo, m)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	raw := Encode(&Hello{})
+	raw[0] = 0x04 // OpenFlow 1.3
+	var h Header
+	if err := h.decode(raw); err != ErrBadVersion {
+		t.Errorf("want ErrBadVersion, got %v", err)
+	}
+}
+
+func TestDecodeNeverPanicsQuick(t *testing.T) {
+	f := func(body []byte, typ uint8) bool {
+		h := Header{Version: Version, Type: MsgType(typ % 22), Length: uint16(HeaderLen + len(body)), XID: 1}
+		_, _ = Decode(h, body)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchEncodeDecodeQuick(t *testing.T) {
+	f := func(wc uint32, inPort uint16, src, dst [6]byte, nwsrc [4]byte, tp uint16) bool {
+		m := Match{
+			Wildcards: wc & FWAll, InPort: inPort,
+			DLSrc: packet.MAC(src), DLDst: packet.MAC(dst),
+			NWSrc: packet.IP4(nwsrc), TPDst: tp,
+		}
+		var got Match
+		if err := got.decode(m.encode(nil)); err != nil {
+			return false
+		}
+		return got == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeFlowMod(b *testing.B) {
+	m := &FlowMod{Match: MatchAll(), Command: FlowModAdd, BufferID: NoBuffer, OutPort: PortNone,
+		Actions: []Action{&ActionOutput{Port: 1}}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(m)
+	}
+}
+
+func BenchmarkMatchExact(b *testing.B) {
+	f := packet.NewTCPFrame(packet.MAC{1}, packet.MAC{2}, packet.IP4{10, 0, 0, 1}, packet.IP4{10, 0, 0, 2}, 1, 80, packet.TCPAck, 0, nil)
+	var d packet.Decoded
+	if err := d.Decode(f.Bytes()); err != nil {
+		b.Fatal(err)
+	}
+	m := MatchFromFrame(&d, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.Matches(&d, 1) {
+			b.Fatal("no match")
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package packet
+
+import "encoding/binary"
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARPLen is the length of an Ethernet/IPv4 ARP payload.
+const ARPLen = 28
+
+// ARP is an Ethernet/IPv4 ARP packet.
+type ARP struct {
+	Op       uint16
+	SenderHW MAC
+	SenderIP IP4
+	TargetHW MAC
+	TargetIP IP4
+}
+
+// DecodeFromBytes parses an ARP payload (the bytes after the Ethernet header).
+func (a *ARP) DecodeFromBytes(data []byte) error {
+	if len(data) < ARPLen {
+		return ErrTruncated
+	}
+	htype := binary.BigEndian.Uint16(data[0:2])
+	ptype := binary.BigEndian.Uint16(data[2:4])
+	hlen, plen := data[4], data[5]
+	if htype != 1 || ptype != uint16(EtherTypeIPv4) || hlen != 6 || plen != 4 {
+		return ErrMalformed
+	}
+	a.Op = binary.BigEndian.Uint16(data[6:8])
+	copy(a.SenderHW[:], data[8:14])
+	copy(a.SenderIP[:], data[14:18])
+	copy(a.TargetHW[:], data[18:24])
+	copy(a.TargetIP[:], data[24:28])
+	return nil
+}
+
+// Serialize appends the encoded ARP payload to b.
+func (a *ARP) Serialize(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, 1) // Ethernet
+	b = binary.BigEndian.AppendUint16(b, uint16(EtherTypeIPv4))
+	b = append(b, 6, 4)
+	b = binary.BigEndian.AppendUint16(b, a.Op)
+	b = append(b, a.SenderHW[:]...)
+	b = append(b, a.SenderIP[:]...)
+	b = append(b, a.TargetHW[:]...)
+	b = append(b, a.TargetIP[:]...)
+	return b
+}
+
+// Bytes returns the encoded ARP payload as a fresh slice.
+func (a *ARP) Bytes() []byte { return a.Serialize(make([]byte, 0, ARPLen)) }
+
+// NewARPRequest builds a who-has request frame from sender for targetIP.
+func NewARPRequest(senderHW MAC, senderIP, targetIP IP4) *Ethernet {
+	arp := &ARP{Op: ARPRequest, SenderHW: senderHW, SenderIP: senderIP, TargetIP: targetIP}
+	return &Ethernet{Dst: Broadcast, Src: senderHW, Type: EtherTypeARP, Payload: arp.Bytes()}
+}
+
+// NewARPReply builds a unicast is-at reply frame answering req.
+func NewARPReply(senderHW MAC, senderIP IP4, req *ARP) *Ethernet {
+	arp := &ARP{
+		Op:       ARPReply,
+		SenderHW: senderHW, SenderIP: senderIP,
+		TargetHW: req.SenderHW, TargetIP: req.SenderIP,
+	}
+	return &Ethernet{Dst: req.SenderHW, Src: senderHW, Type: EtherTypeARP, Payload: arp.Bytes()}
+}

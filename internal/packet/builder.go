@@ -1,0 +1,99 @@
+package packet
+
+// Decoded is a one-pass parse of a frame up to the transport layer, used by
+// the datapath for flow matching and by the measurement plane for accounting.
+// All byte-slice fields alias the original frame buffer.
+type Decoded struct {
+	Eth  Ethernet
+	ARP  ARP
+	IP   IPv4
+	TCP  TCP
+	UDP  UDP
+	ICMP ICMP
+
+	HasARP  bool
+	HasIP   bool
+	HasTCP  bool
+	HasUDP  bool
+	HasICMP bool
+}
+
+// Decode parses as many layers as the frame contains. Unknown payloads above
+// a decoded layer are not an error: decoding stops at the last understood
+// layer, mirroring gopacket's DecodingLayerParser behaviour.
+func (d *Decoded) Decode(frame []byte) error {
+	d.HasARP, d.HasIP, d.HasTCP, d.HasUDP, d.HasICMP = false, false, false, false, false
+	if err := d.Eth.DecodeFromBytes(frame); err != nil {
+		return err
+	}
+	switch d.Eth.Type {
+	case EtherTypeARP:
+		if err := d.ARP.DecodeFromBytes(d.Eth.Payload); err != nil {
+			return err
+		}
+		d.HasARP = true
+	case EtherTypeIPv4:
+		if err := d.IP.DecodeFromBytes(d.Eth.Payload); err != nil {
+			return err
+		}
+		d.HasIP = true
+		switch d.IP.Protocol {
+		case ProtoTCP:
+			if err := d.TCP.DecodeFromBytes(d.IP.Payload); err != nil {
+				return err
+			}
+			d.HasTCP = true
+		case ProtoUDP:
+			if err := d.UDP.DecodeFromBytes(d.IP.Payload); err != nil {
+				return err
+			}
+			d.HasUDP = true
+		case ProtoICMP:
+			if err := d.ICMP.DecodeFromBytes(d.IP.Payload); err != nil {
+				return err
+			}
+			d.HasICMP = true
+		}
+	}
+	return nil
+}
+
+// FiveTuple returns the transport five-tuple of the decoded frame.
+func (d *Decoded) FiveTuple() (FiveTuple, bool) {
+	if !d.HasIP {
+		return FiveTuple{}, false
+	}
+	ft := FiveTuple{Src: d.IP.Src, Dst: d.IP.Dst, Proto: d.IP.Protocol}
+	switch {
+	case d.HasTCP:
+		ft.SrcPort, ft.DstPort = d.TCP.SrcPort, d.TCP.DstPort
+	case d.HasUDP:
+		ft.SrcPort, ft.DstPort = d.UDP.SrcPort, d.UDP.DstPort
+	case d.HasICMP:
+		ft.SrcPort, ft.DstPort = uint16(d.ICMP.Type), uint16(d.ICMP.Code)
+	default:
+		return FiveTuple{}, false
+	}
+	return ft, true
+}
+
+// NewUDPFrame builds a complete Ethernet/IPv4/UDP frame.
+func NewUDPFrame(srcMAC, dstMAC MAC, srcIP, dstIP IP4, srcPort, dstPort uint16, payload []byte) *Ethernet {
+	udp := UDP{SrcPort: srcPort, DstPort: dstPort, Payload: payload}
+	ip := IPv4{TTL: 64, Protocol: ProtoUDP, Src: srcIP, Dst: dstIP, Payload: udp.Bytes(srcIP, dstIP)}
+	return &Ethernet{Dst: dstMAC, Src: srcMAC, Type: EtherTypeIPv4, Payload: ip.Bytes()}
+}
+
+// NewTCPFrame builds a complete Ethernet/IPv4/TCP frame.
+func NewTCPFrame(srcMAC, dstMAC MAC, srcIP, dstIP IP4, srcPort, dstPort uint16, flags uint8, seq uint32, payload []byte) *Ethernet {
+	tcp := TCP{SrcPort: srcPort, DstPort: dstPort, Seq: seq, Flags: flags, Window: 65535, Payload: payload}
+	ip := IPv4{TTL: 64, Protocol: ProtoTCP, Src: srcIP, Dst: dstIP, Payload: tcp.Bytes(srcIP, dstIP)}
+	return &Ethernet{Dst: dstMAC, Src: srcMAC, Type: EtherTypeIPv4, Payload: ip.Bytes()}
+}
+
+// NewICMPEchoFrame builds an ICMP echo request or reply frame.
+func NewICMPEchoFrame(srcMAC, dstMAC MAC, srcIP, dstIP IP4, typ uint8, id, seq uint16, payload []byte) *Ethernet {
+	icmp := ICMP{Type: typ, ID: id, Seq: seq, Payload: payload}
+	ip := IPv4{TTL: 64, Protocol: ProtoICMP, Src: srcIP, Dst: dstIP, Payload: icmp.Bytes()}
+	return &Ethernet{Dst: dstMAC, Src: srcMAC, Type: EtherTypeIPv4, Payload: ip.Bytes()}
+}

@@ -1,0 +1,336 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// DNS record types used by the proxy.
+const (
+	DNSTypeA     uint16 = 1
+	DNSTypeNS    uint16 = 2
+	DNSTypeCNAME uint16 = 5
+	DNSTypePTR   uint16 = 12
+	DNSTypeTXT   uint16 = 16
+	DNSTypeAAAA  uint16 = 28
+	DNSTypeANY   uint16 = 255
+)
+
+// DNS classes.
+const DNSClassIN uint16 = 1
+
+// DNS response codes.
+const (
+	DNSRcodeNoError  uint8 = 0
+	DNSRcodeFormErr  uint8 = 1
+	DNSRcodeServFail uint8 = 2
+	DNSRcodeNXDomain uint8 = 3
+	DNSRcodeRefused  uint8 = 5
+)
+
+// DNSQuestion is a single query in a DNS message.
+type DNSQuestion struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// DNSRR is a DNS resource record. For A records Data holds the 4 address
+// bytes; for CNAME/PTR records Target holds the decoded name.
+type DNSRR struct {
+	Name   string
+	Type   uint16
+	Class  uint16
+	TTL    uint32
+	Data   []byte
+	Target string
+}
+
+// A returns the record's address for A records.
+func (rr *DNSRR) A() (IP4, bool) {
+	if rr.Type == DNSTypeA && len(rr.Data) == 4 {
+		return IP4{rr.Data[0], rr.Data[1], rr.Data[2], rr.Data[3]}, true
+	}
+	return IP4{}, false
+}
+
+// DNS is a DNS message.
+type DNS struct {
+	ID        uint16
+	Response  bool
+	Opcode    uint8
+	AA        bool
+	TC        bool
+	RD        bool
+	RA        bool
+	Rcode     uint8
+	Questions []DNSQuestion
+	Answers   []DNSRR
+	Authority []DNSRR
+	Extra     []DNSRR
+}
+
+// DNSHeaderLen is the length of a DNS message header.
+const DNSHeaderLen = 12
+
+// DecodeFromBytes parses a DNS message, following compression pointers.
+func (d *DNS) DecodeFromBytes(data []byte) error {
+	if len(data) < DNSHeaderLen {
+		return ErrTruncated
+	}
+	d.ID = binary.BigEndian.Uint16(data[0:2])
+	flags := binary.BigEndian.Uint16(data[2:4])
+	d.Response = flags&0x8000 != 0
+	d.Opcode = uint8(flags >> 11 & 0xf)
+	d.AA = flags&0x0400 != 0
+	d.TC = flags&0x0200 != 0
+	d.RD = flags&0x0100 != 0
+	d.RA = flags&0x0080 != 0
+	d.Rcode = uint8(flags & 0xf)
+	qd := int(binary.BigEndian.Uint16(data[4:6]))
+	an := int(binary.BigEndian.Uint16(data[6:8]))
+	ns := int(binary.BigEndian.Uint16(data[8:10]))
+	ar := int(binary.BigEndian.Uint16(data[10:12]))
+
+	off := DNSHeaderLen
+	d.Questions = d.Questions[:0]
+	for i := 0; i < qd; i++ {
+		name, n, err := decodeName(data, off)
+		if err != nil {
+			return err
+		}
+		off = n
+		if off+4 > len(data) {
+			return ErrTruncated
+		}
+		d.Questions = append(d.Questions, DNSQuestion{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(data[off : off+2]),
+			Class: binary.BigEndian.Uint16(data[off+2 : off+4]),
+		})
+		off += 4
+	}
+	var err error
+	if d.Answers, off, err = decodeRRs(data, off, an, d.Answers[:0]); err != nil {
+		return err
+	}
+	if d.Authority, off, err = decodeRRs(data, off, ns, d.Authority[:0]); err != nil {
+		return err
+	}
+	if d.Extra, _, err = decodeRRs(data, off, ar, d.Extra[:0]); err != nil {
+		return err
+	}
+	return nil
+}
+
+func decodeRRs(data []byte, off, count int, out []DNSRR) ([]DNSRR, int, error) {
+	for i := 0; i < count; i++ {
+		name, n, err := decodeName(data, off)
+		if err != nil {
+			return out, off, err
+		}
+		off = n
+		if off+10 > len(data) {
+			return out, off, ErrTruncated
+		}
+		rr := DNSRR{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(data[off : off+2]),
+			Class: binary.BigEndian.Uint16(data[off+2 : off+4]),
+			TTL:   binary.BigEndian.Uint32(data[off+4 : off+8]),
+		}
+		rdlen := int(binary.BigEndian.Uint16(data[off+8 : off+10]))
+		off += 10
+		if off+rdlen > len(data) {
+			return out, off, ErrTruncated
+		}
+		rr.Data = data[off : off+rdlen]
+		if rr.Type == DNSTypeCNAME || rr.Type == DNSTypePTR || rr.Type == DNSTypeNS {
+			if t, _, err := decodeName(data, off); err == nil {
+				rr.Target = t
+			}
+		}
+		off += rdlen
+		out = append(out, rr)
+	}
+	return out, off, nil
+}
+
+// decodeName reads a possibly-compressed domain name starting at off,
+// returning the dotted name and the offset just past its in-place encoding.
+func decodeName(data []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	end := -1 // offset after the name in the original stream
+	ptrBudget := 16
+	for {
+		if off >= len(data) {
+			return "", 0, ErrTruncated
+		}
+		l := int(data[off])
+		switch {
+		case l == 0:
+			if end < 0 {
+				end = off + 1
+			}
+			name := sb.String()
+			if name == "" {
+				name = "."
+			}
+			return name, end, nil
+		case l&0xc0 == 0xc0:
+			if off+1 >= len(data) {
+				return "", 0, ErrTruncated
+			}
+			if end < 0 {
+				end = off + 2
+			}
+			ptr := (l&0x3f)<<8 | int(data[off+1])
+			if ptr >= off || ptrBudget == 0 {
+				return "", 0, ErrMalformed
+			}
+			ptrBudget--
+			off = ptr
+		case l&0xc0 != 0:
+			return "", 0, ErrMalformed
+		default:
+			if off+1+l > len(data) {
+				return "", 0, ErrTruncated
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(data[off+1 : off+1+l])
+			off += 1 + l
+			if sb.Len() > 255 {
+				return "", 0, ErrMalformed
+			}
+		}
+	}
+}
+
+// appendName encodes a dotted name without compression.
+func appendName(b []byte, name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name != "" {
+		for _, label := range strings.Split(name, ".") {
+			if len(label) == 0 || len(label) > 63 {
+				return b, fmt.Errorf("packet: bad DNS label %q in %q", label, name)
+			}
+			b = append(b, byte(len(label)))
+			b = append(b, label...)
+		}
+	}
+	return append(b, 0), nil
+}
+
+// Serialize appends the encoded message (no compression) to b.
+func (d *DNS) Serialize(b []byte) ([]byte, error) {
+	b = binary.BigEndian.AppendUint16(b, d.ID)
+	var flags uint16
+	if d.Response {
+		flags |= 0x8000
+	}
+	flags |= uint16(d.Opcode&0xf) << 11
+	if d.AA {
+		flags |= 0x0400
+	}
+	if d.TC {
+		flags |= 0x0200
+	}
+	if d.RD {
+		flags |= 0x0100
+	}
+	if d.RA {
+		flags |= 0x0080
+	}
+	flags |= uint16(d.Rcode & 0xf)
+	b = binary.BigEndian.AppendUint16(b, flags)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(d.Questions)))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(d.Answers)))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(d.Authority)))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(d.Extra)))
+	var err error
+	for _, q := range d.Questions {
+		if b, err = appendName(b, q.Name); err != nil {
+			return b, err
+		}
+		b = binary.BigEndian.AppendUint16(b, q.Type)
+		b = binary.BigEndian.AppendUint16(b, q.Class)
+	}
+	for _, set := range [][]DNSRR{d.Answers, d.Authority, d.Extra} {
+		for _, rr := range set {
+			if b, err = appendRR(b, rr); err != nil {
+				return b, err
+			}
+		}
+	}
+	return b, nil
+}
+
+func appendRR(b []byte, rr DNSRR) ([]byte, error) {
+	b, err := appendName(b, rr.Name)
+	if err != nil {
+		return b, err
+	}
+	b = binary.BigEndian.AppendUint16(b, rr.Type)
+	b = binary.BigEndian.AppendUint16(b, rr.Class)
+	b = binary.BigEndian.AppendUint32(b, rr.TTL)
+	data := rr.Data
+	if rr.Target != "" && (rr.Type == DNSTypeCNAME || rr.Type == DNSTypePTR || rr.Type == DNSTypeNS) {
+		data, err = appendName(nil, rr.Target)
+		if err != nil {
+			return b, err
+		}
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(data)))
+	return append(b, data...), nil
+}
+
+// Bytes returns the encoded message as a fresh slice.
+func (d *DNS) Bytes() ([]byte, error) { return d.Serialize(make([]byte, 0, 128)) }
+
+// NewDNSQuery builds a recursive query for one name.
+func NewDNSQuery(id uint16, name string, qtype uint16) *DNS {
+	return &DNS{
+		ID: id, RD: true,
+		Questions: []DNSQuestion{{Name: name, Type: qtype, Class: DNSClassIN}},
+	}
+}
+
+// AnswerA appends an A answer for the message's first question.
+func (d *DNS) AnswerA(ip IP4, ttl uint32) {
+	if len(d.Questions) == 0 {
+		return
+	}
+	d.Answers = append(d.Answers, DNSRR{
+		Name: d.Questions[0].Name, Type: DNSTypeA, Class: DNSClassIN,
+		TTL: ttl, Data: append([]byte(nil), ip[:]...),
+	})
+}
+
+// ReverseName returns the in-addr.arpa name for an IPv4 address.
+func ReverseName(ip IP4) string {
+	return fmt.Sprintf("%d.%d.%d.%d.in-addr.arpa", ip[3], ip[2], ip[1], ip[0])
+}
+
+// ParseReverseName inverts ReverseName.
+func ParseReverseName(name string) (IP4, bool) {
+	name = strings.TrimSuffix(strings.TrimSuffix(name, "."), ".in-addr.arpa")
+	parts := strings.Split(name, ".")
+	if len(parts) != 4 {
+		return IP4{}, false
+	}
+	var ip IP4
+	for i := 0; i < 4; i++ {
+		var v int
+		if _, err := fmt.Sscanf(parts[i], "%d", &v); err != nil || v < 0 || v > 255 {
+			return IP4{}, false
+		}
+		ip[3-i] = byte(v)
+	}
+	return ip, true
+}
+
+// DNSPort is the well-known DNS port.
+const DNSPort = 53

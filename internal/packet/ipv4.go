@@ -1,0 +1,283 @@
+package packet
+
+import "encoding/binary"
+
+// IPv4HeaderLen is the length of an IPv4 header without options.
+const IPv4HeaderLen = 20
+
+// IPv4 is an IPv4 packet header plus payload.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	Flags    uint8 // 3 bits: reserved, DF, MF
+	FragOff  uint16
+	TTL      uint8
+	Protocol IPProto
+	Checksum uint16
+	Src      IP4
+	Dst      IP4
+	Options  []byte
+	Payload  []byte
+}
+
+// IPv4 flag bits.
+const (
+	IPv4DontFragment  = 0x2
+	IPv4MoreFragments = 0x1
+)
+
+// DecodeFromBytes parses an IPv4 packet. Options and Payload alias data.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < IPv4HeaderLen {
+		return ErrTruncated
+	}
+	vihl := data[0]
+	if vihl>>4 != 4 {
+		return ErrMalformed
+	}
+	ihl := int(vihl&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(data) < ihl {
+		return ErrMalformed
+	}
+	totalLen := int(binary.BigEndian.Uint16(data[2:4]))
+	if totalLen < ihl {
+		return ErrMalformed
+	}
+	if totalLen > len(data) {
+		totalLen = len(data) // tolerate link-layer padding absence
+	}
+	ip.TOS = data[1]
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOff = ff & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = IPProto(data[9])
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	copy(ip.Src[:], data[12:16])
+	copy(ip.Dst[:], data[16:20])
+	ip.Options = data[IPv4HeaderLen:ihl]
+	ip.Payload = data[ihl:totalLen]
+	return nil
+}
+
+// HeaderLen returns the encoded header length including options.
+func (ip *IPv4) HeaderLen() int {
+	opt := (len(ip.Options) + 3) &^ 3
+	return IPv4HeaderLen + opt
+}
+
+// Serialize appends the encoded packet to b, computing the header checksum.
+func (ip *IPv4) Serialize(b []byte) []byte {
+	hl := ip.HeaderLen()
+	total := hl + len(ip.Payload)
+	start := len(b)
+	b = append(b, byte(4<<4|hl/4), ip.TOS)
+	b = binary.BigEndian.AppendUint16(b, uint16(total))
+	b = binary.BigEndian.AppendUint16(b, ip.ID)
+	b = binary.BigEndian.AppendUint16(b, uint16(ip.Flags)<<13|ip.FragOff&0x1fff)
+	b = append(b, ip.TTL, byte(ip.Protocol))
+	b = append(b, 0, 0) // checksum placeholder
+	b = append(b, ip.Src[:]...)
+	b = append(b, ip.Dst[:]...)
+	b = append(b, ip.Options...)
+	for len(b)-start < hl {
+		b = append(b, 0) // pad options to 32-bit boundary
+	}
+	cs := Checksum(b[start:start+hl], 0)
+	binary.BigEndian.PutUint16(b[start+10:start+12], cs)
+	return append(b, ip.Payload...)
+}
+
+// Bytes returns the encoded packet as a fresh slice.
+func (ip *IPv4) Bytes() []byte {
+	return ip.Serialize(make([]byte, 0, ip.HeaderLen()+len(ip.Payload)))
+}
+
+// UDPHeaderLen is the length of a UDP header.
+const UDPHeaderLen = 8
+
+// UDP is a UDP datagram header plus payload.
+type UDP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Checksum uint16
+	Payload  []byte
+}
+
+// DecodeFromBytes parses a UDP datagram. Payload aliases data.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < UDPHeaderLen {
+		return ErrTruncated
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	length := int(binary.BigEndian.Uint16(data[4:6]))
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	if length < UDPHeaderLen {
+		return ErrMalformed
+	}
+	if length > len(data) {
+		length = len(data)
+	}
+	u.Payload = data[UDPHeaderLen:length]
+	return nil
+}
+
+// Serialize appends the encoded datagram to b with a checksum computed over
+// the pseudo-header for src/dst.
+func (u *UDP) Serialize(b []byte, src, dst IP4) []byte {
+	length := UDPHeaderLen + len(u.Payload)
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, u.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, u.DstPort)
+	b = binary.BigEndian.AppendUint16(b, uint16(length))
+	b = append(b, 0, 0)
+	b = append(b, u.Payload...)
+	cs := Checksum(b[start:], pseudoHeaderSum(src, dst, ProtoUDP, length))
+	if cs == 0 {
+		cs = 0xffff
+	}
+	binary.BigEndian.PutUint16(b[start+6:start+8], cs)
+	return b
+}
+
+// Bytes returns the encoded datagram as a fresh slice.
+func (u *UDP) Bytes(src, dst IP4) []byte {
+	return u.Serialize(make([]byte, 0, UDPHeaderLen+len(u.Payload)), src, dst)
+}
+
+// TCPHeaderLen is the length of a TCP header without options.
+const TCPHeaderLen = 20
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+	TCPUrg
+)
+
+// TCP is a TCP segment header plus payload.
+type TCP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Seq      uint32
+	Ack      uint32
+	Flags    uint8
+	Window   uint16
+	Checksum uint16
+	Urgent   uint16
+	Options  []byte
+	Payload  []byte
+}
+
+// DecodeFromBytes parses a TCP segment. Options and Payload alias data.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < TCPHeaderLen {
+		return ErrTruncated
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	off := int(data[12]>>4) * 4
+	if off < TCPHeaderLen || off > len(data) {
+		return ErrMalformed
+	}
+	t.Flags = data[13] & 0x3f
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	t.Options = data[TCPHeaderLen:off]
+	t.Payload = data[off:]
+	return nil
+}
+
+// HeaderLen returns the encoded header length including options.
+func (t *TCP) HeaderLen() int {
+	opt := (len(t.Options) + 3) &^ 3
+	return TCPHeaderLen + opt
+}
+
+// Serialize appends the encoded segment to b with a checksum computed over
+// the pseudo-header for src/dst.
+func (t *TCP) Serialize(b []byte, src, dst IP4) []byte {
+	hl := t.HeaderLen()
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, t.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, t.DstPort)
+	b = binary.BigEndian.AppendUint32(b, t.Seq)
+	b = binary.BigEndian.AppendUint32(b, t.Ack)
+	b = append(b, byte(hl/4)<<4, t.Flags)
+	b = binary.BigEndian.AppendUint16(b, t.Window)
+	b = append(b, 0, 0)
+	b = binary.BigEndian.AppendUint16(b, t.Urgent)
+	b = append(b, t.Options...)
+	for len(b)-start < hl {
+		b = append(b, 0)
+	}
+	b = append(b, t.Payload...)
+	cs := Checksum(b[start:], pseudoHeaderSum(src, dst, ProtoTCP, hl+len(t.Payload)))
+	binary.BigEndian.PutUint16(b[start+16:start+18], cs)
+	return b
+}
+
+// Bytes returns the encoded segment as a fresh slice.
+func (t *TCP) Bytes(src, dst IP4) []byte {
+	return t.Serialize(make([]byte, 0, t.HeaderLen()+len(t.Payload)), src, dst)
+}
+
+// ICMP message types.
+const (
+	ICMPEchoReply    uint8 = 0
+	ICMPDestUnreach  uint8 = 3
+	ICMPEchoRequest  uint8 = 8
+	ICMPTimeExceeded uint8 = 11
+)
+
+// ICMP is an ICMPv4 message.
+type ICMP struct {
+	Type     uint8
+	Code     uint8
+	Checksum uint16
+	ID       uint16 // echo only
+	Seq      uint16 // echo only
+	Payload  []byte
+}
+
+// ICMPHeaderLen is the length of an ICMP echo header.
+const ICMPHeaderLen = 8
+
+// DecodeFromBytes parses an ICMP message. Payload aliases data.
+func (c *ICMP) DecodeFromBytes(data []byte) error {
+	if len(data) < ICMPHeaderLen {
+		return ErrTruncated
+	}
+	c.Type = data[0]
+	c.Code = data[1]
+	c.Checksum = binary.BigEndian.Uint16(data[2:4])
+	c.ID = binary.BigEndian.Uint16(data[4:6])
+	c.Seq = binary.BigEndian.Uint16(data[6:8])
+	c.Payload = data[ICMPHeaderLen:]
+	return nil
+}
+
+// Serialize appends the encoded message to b, computing the checksum.
+func (c *ICMP) Serialize(b []byte) []byte {
+	start := len(b)
+	b = append(b, c.Type, c.Code, 0, 0)
+	b = binary.BigEndian.AppendUint16(b, c.ID)
+	b = binary.BigEndian.AppendUint16(b, c.Seq)
+	b = append(b, c.Payload...)
+	cs := Checksum(b[start:], 0)
+	binary.BigEndian.PutUint16(b[start+2:start+4], cs)
+	return b
+}
+
+// Bytes returns the encoded message as a fresh slice.
+func (c *ICMP) Bytes() []byte {
+	return c.Serialize(make([]byte, 0, ICMPHeaderLen+len(c.Payload)))
+}

@@ -1,0 +1,208 @@
+// Package packet implements encoding and decoding of the network protocols
+// the Homework router handles: Ethernet, ARP, IPv4, ICMP, UDP, TCP, DHCP and
+// DNS.
+//
+// The design follows the gopacket "decoding layer" idiom: every protocol is a
+// concrete struct with DecodeFromBytes and a serialization method, so hot
+// paths can reuse preallocated layer values without per-packet allocation.
+// Addresses are fixed-size arrays (not slices) so they are comparable and can
+// be used directly as map keys.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors shared by the decoders in this package.
+var (
+	ErrTruncated = errors.New("packet: truncated")
+	ErrMalformed = errors.New("packet: malformed")
+)
+
+// MAC is a 48-bit Ethernet hardware address.
+type MAC [6]byte
+
+// Broadcast is the all-ones Ethernet broadcast address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String renders the address in the conventional colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether the address is the Ethernet broadcast address.
+func (m MAC) IsBroadcast() bool { return m == Broadcast }
+
+// IsMulticast reports whether the address is an Ethernet group address.
+func (m MAC) IsMulticast() bool { return m[0]&1 == 1 }
+
+// IsZero reports whether the address is all zeros.
+func (m MAC) IsZero() bool { return m == MAC{} }
+
+// ParseMAC parses a colon-separated Ethernet address.
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	var b [6]int
+	n, err := fmt.Sscanf(s, "%02x:%02x:%02x:%02x:%02x:%02x", &b[0], &b[1], &b[2], &b[3], &b[4], &b[5])
+	if err != nil || n != 6 {
+		return m, fmt.Errorf("packet: bad MAC %q", s)
+	}
+	for i, v := range b {
+		m[i] = byte(v)
+	}
+	return m, nil
+}
+
+// IP4 is an IPv4 address.
+type IP4 [4]byte
+
+// String renders the address in dotted-quad form.
+func (ip IP4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// IsZero reports whether the address is 0.0.0.0.
+func (ip IP4) IsZero() bool { return ip == IP4{} }
+
+// IsBroadcast reports whether the address is 255.255.255.255.
+func (ip IP4) IsBroadcast() bool { return ip == IP4{255, 255, 255, 255} }
+
+// IsMulticast reports whether the address is in 224.0.0.0/4.
+func (ip IP4) IsMulticast() bool { return ip[0] >= 224 && ip[0] <= 239 }
+
+// Uint32 returns the address as a big-endian 32-bit integer.
+func (ip IP4) Uint32() uint32 { return binary.BigEndian.Uint32(ip[:]) }
+
+// IP4FromUint32 builds an address from a big-endian 32-bit integer.
+func IP4FromUint32(v uint32) IP4 {
+	var ip IP4
+	binary.BigEndian.PutUint32(ip[:], v)
+	return ip
+}
+
+// ParseIP4 parses a dotted-quad IPv4 address.
+func ParseIP4(s string) (IP4, error) {
+	var ip IP4
+	var b [4]int
+	n, err := fmt.Sscanf(s, "%d.%d.%d.%d", &b[0], &b[1], &b[2], &b[3])
+	if err != nil || n != 4 {
+		return ip, fmt.Errorf("packet: bad IPv4 %q", s)
+	}
+	for i, v := range b {
+		if v < 0 || v > 255 {
+			return ip, fmt.Errorf("packet: bad IPv4 %q", s)
+		}
+		ip[i] = byte(v)
+	}
+	return ip, nil
+}
+
+// MustIP4 is ParseIP4 that panics on error; for tests and fixed configuration.
+func MustIP4(s string) IP4 {
+	ip, err := ParseIP4(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// MustMAC is ParseMAC that panics on error; for tests and fixed configuration.
+func MustMAC(s string) MAC {
+	m, err := ParseMAC(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Mask applies a prefix-length netmask to the address.
+func (ip IP4) Mask(prefix int) IP4 {
+	if prefix <= 0 {
+		return IP4{}
+	}
+	if prefix >= 32 {
+		return ip
+	}
+	m := ^uint32(0) << (32 - uint(prefix))
+	return IP4FromUint32(ip.Uint32() & m)
+}
+
+// EtherType identifies the payload protocol of an Ethernet frame.
+type EtherType uint16
+
+// EtherTypes handled by the router.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeARP  EtherType = 0x0806
+	EtherTypeVLAN EtherType = 0x8100
+	EtherTypeIPv6 EtherType = 0x86dd
+)
+
+// String names well-known EtherTypes.
+func (t EtherType) String() string {
+	switch t {
+	case EtherTypeIPv4:
+		return "IPv4"
+	case EtherTypeARP:
+		return "ARP"
+	case EtherTypeVLAN:
+		return "VLAN"
+	case EtherTypeIPv6:
+		return "IPv6"
+	}
+	return fmt.Sprintf("EtherType(0x%04x)", uint16(t))
+}
+
+// IPProto identifies the payload protocol of an IPv4 packet.
+type IPProto uint8
+
+// IP protocol numbers handled by the router.
+const (
+	ProtoICMP IPProto = 1
+	ProtoTCP  IPProto = 6
+	ProtoUDP  IPProto = 17
+)
+
+// String names well-known IP protocols.
+func (p IPProto) String() string {
+	switch p {
+	case ProtoICMP:
+		return "ICMP"
+	case ProtoTCP:
+		return "TCP"
+	case ProtoUDP:
+		return "UDP"
+	}
+	return fmt.Sprintf("IPProto(%d)", uint8(p))
+}
+
+// Checksum computes the RFC 1071 Internet checksum over data with an initial
+// partial sum, for use with pseudo-headers.
+func Checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum computes the partial sum of the IPv4 pseudo-header used by
+// TCP and UDP checksums.
+func pseudoHeaderSum(src, dst IP4, proto IPProto, length int) uint32 {
+	sum := uint32(src[0])<<8 | uint32(src[1])
+	sum += uint32(src[2])<<8 | uint32(src[3])
+	sum += uint32(dst[0])<<8 | uint32(dst[1])
+	sum += uint32(dst[2])<<8 | uint32(dst[3])
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}

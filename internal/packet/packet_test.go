@@ -1,0 +1,553 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMACString(t *testing.T) {
+	m := MAC{0x00, 0x1c, 0xb3, 0x09, 0x85, 0x15}
+	if got, want := m.String(), "00:1c:b3:09:85:15"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestParseMACRoundTrip(t *testing.T) {
+	for _, s := range []string{"00:00:00:00:00:00", "ff:ff:ff:ff:ff:ff", "02:20:11:ab:cd:ef"} {
+		m, err := ParseMAC(s)
+		if err != nil {
+			t.Fatalf("ParseMAC(%q): %v", s, err)
+		}
+		if m.String() != s {
+			t.Errorf("round trip %q -> %q", s, m.String())
+		}
+	}
+}
+
+func TestParseMACRejects(t *testing.T) {
+	for _, s := range []string{"", "nonsense", "00:00:00:00:00", "zz:00:00:00:00:00"} {
+		if _, err := ParseMAC(s); err == nil {
+			t.Errorf("ParseMAC(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestMACPredicates(t *testing.T) {
+	if !Broadcast.IsBroadcast() || !Broadcast.IsMulticast() {
+		t.Error("broadcast predicates wrong")
+	}
+	if (MAC{0x02, 0, 0, 0, 0, 1}).IsMulticast() {
+		t.Error("unicast reported as multicast")
+	}
+	if !(MAC{0x01, 0, 0x5e, 0, 0, 1}).IsMulticast() {
+		t.Error("group address not reported as multicast")
+	}
+	if !(MAC{}).IsZero() || Broadcast.IsZero() {
+		t.Error("IsZero wrong")
+	}
+}
+
+func TestIP4RoundTrip(t *testing.T) {
+	ip := MustIP4("192.168.1.77")
+	if ip.String() != "192.168.1.77" {
+		t.Errorf("String() = %q", ip.String())
+	}
+	if IP4FromUint32(ip.Uint32()) != ip {
+		t.Error("Uint32 round trip failed")
+	}
+}
+
+func TestParseIP4Rejects(t *testing.T) {
+	for _, s := range []string{"", "256.1.1.1", "1.2.3", "a.b.c.d"} {
+		if _, err := ParseIP4(s); err == nil {
+			t.Errorf("ParseIP4(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestIP4Mask(t *testing.T) {
+	ip := MustIP4("192.168.13.77")
+	cases := []struct {
+		prefix int
+		want   string
+	}{
+		{32, "192.168.13.77"},
+		{24, "192.168.13.0"},
+		{16, "192.168.0.0"},
+		{8, "192.0.0.0"},
+		{0, "0.0.0.0"},
+	}
+	for _, c := range cases {
+		if got := ip.Mask(c.prefix).String(); got != c.want {
+			t.Errorf("Mask(%d) = %s, want %s", c.prefix, got, c.want)
+		}
+	}
+}
+
+func TestIP4Predicates(t *testing.T) {
+	if !MustIP4("255.255.255.255").IsBroadcast() {
+		t.Error("broadcast not detected")
+	}
+	if !MustIP4("224.0.0.251").IsMulticast() || MustIP4("192.168.1.1").IsMulticast() {
+		t.Error("multicast detection wrong")
+	}
+}
+
+func TestEthernetRoundTrip(t *testing.T) {
+	e := Ethernet{
+		Dst: MustMAC("aa:bb:cc:dd:ee:ff"), Src: MustMAC("11:22:33:44:55:66"),
+		Type: EtherTypeIPv4, Payload: []byte("hello"),
+	}
+	var got Ethernet
+	if err := got.DecodeFromBytes(e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Dst != e.Dst || got.Src != e.Src || got.Type != e.Type || !bytes.Equal(got.Payload, e.Payload) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestEthernetVLANRoundTrip(t *testing.T) {
+	e := Ethernet{
+		Dst: Broadcast, Src: MustMAC("11:22:33:44:55:66"),
+		Type: EtherTypeARP, Tagged: true, VLANID: 42, VLANPriority: 5,
+		Payload: []byte{1, 2, 3},
+	}
+	var got Ethernet
+	if err := got.DecodeFromBytes(e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Tagged || got.VLANID != 42 || got.VLANPriority != 5 || got.Type != EtherTypeARP {
+		t.Errorf("VLAN round trip mismatch: %+v", got)
+	}
+}
+
+func TestEthernetTruncated(t *testing.T) {
+	var e Ethernet
+	if err := e.DecodeFromBytes(make([]byte, 13)); err != ErrTruncated {
+		t.Errorf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	a := ARP{
+		Op:       ARPRequest,
+		SenderHW: MustMAC("11:22:33:44:55:66"), SenderIP: MustIP4("10.0.0.1"),
+		TargetHW: MAC{}, TargetIP: MustIP4("10.0.0.2"),
+	}
+	var got ARP
+	if err := got.DecodeFromBytes(a.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Errorf("round trip mismatch: %+v != %+v", got, a)
+	}
+}
+
+func TestARPHelpers(t *testing.T) {
+	hw := MustMAC("11:22:33:44:55:66")
+	req := NewARPRequest(hw, MustIP4("10.0.0.1"), MustIP4("10.0.0.2"))
+	var d Decoded
+	if err := d.Decode(req.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasARP || d.ARP.Op != ARPRequest || !d.Eth.Dst.IsBroadcast() {
+		t.Fatalf("bad request: %+v", d.ARP)
+	}
+	rep := NewARPReply(MustMAC("66:55:44:33:22:11"), MustIP4("10.0.0.2"), &d.ARP)
+	if err := d.Decode(rep.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if d.ARP.Op != ARPReply || d.ARP.TargetHW != hw || d.Eth.Dst != hw {
+		t.Fatalf("bad reply: %+v", d.ARP)
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	ip := IPv4{
+		TOS: 0x10, ID: 4711, Flags: IPv4DontFragment, TTL: 64,
+		Protocol: ProtoUDP, Src: MustIP4("10.0.0.1"), Dst: MustIP4("10.0.0.2"),
+		Payload: []byte("payload!"),
+	}
+	var got IPv4
+	if err := got.DecodeFromBytes(ip.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != ip.Src || got.Dst != ip.Dst || got.TTL != 64 ||
+		got.Protocol != ProtoUDP || !bytes.Equal(got.Payload, ip.Payload) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestIPv4ChecksumValidates(t *testing.T) {
+	ip := IPv4{TTL: 64, Protocol: ProtoTCP, Src: MustIP4("1.2.3.4"), Dst: MustIP4("5.6.7.8")}
+	raw := ip.Bytes()
+	if cs := Checksum(raw[:IPv4HeaderLen], 0); cs != 0 {
+		t.Errorf("header checksum does not verify: %04x", cs)
+	}
+	raw[8] = 63 // corrupt TTL
+	if cs := Checksum(raw[:IPv4HeaderLen], 0); cs == 0 {
+		t.Error("corrupted header still verifies")
+	}
+}
+
+func TestIPv4RejectsBadVersion(t *testing.T) {
+	ip := IPv4{TTL: 1, Protocol: ProtoUDP}
+	raw := ip.Bytes()
+	raw[0] = 0x65 // version 6
+	var got IPv4
+	if err := got.DecodeFromBytes(raw); err != ErrMalformed {
+		t.Errorf("want ErrMalformed, got %v", err)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	src, dst := MustIP4("10.0.0.1"), MustIP4("10.0.0.2")
+	u := UDP{SrcPort: 5353, DstPort: 53, Payload: []byte("query")}
+	var got UDP
+	if err := got.DecodeFromBytes(u.Bytes(src, dst)); err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != 5353 || got.DstPort != 53 || !bytes.Equal(got.Payload, u.Payload) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestUDPChecksumValidates(t *testing.T) {
+	src, dst := MustIP4("10.0.0.1"), MustIP4("10.0.0.2")
+	u := UDP{SrcPort: 1000, DstPort: 2000, Payload: []byte("abcde")}
+	raw := u.Bytes(src, dst)
+	sum := Checksum(raw, pseudoHeaderSum(src, dst, ProtoUDP, len(raw)))
+	if sum != 0 && sum != 0xffff {
+		t.Errorf("UDP checksum does not verify: %04x", sum)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	src, dst := MustIP4("10.0.0.1"), MustIP4("93.184.216.34")
+	tc := TCP{
+		SrcPort: 49152, DstPort: 443, Seq: 1e9, Ack: 77,
+		Flags: TCPSyn | TCPAck, Window: 29200, Payload: []byte("tls hello"),
+	}
+	var got TCP
+	if err := got.DecodeFromBytes(tc.Bytes(src, dst)); err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != tc.SrcPort || got.DstPort != tc.DstPort || got.Seq != tc.Seq ||
+		got.Flags != tc.Flags || !bytes.Equal(got.Payload, tc.Payload) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestICMPRoundTrip(t *testing.T) {
+	c := ICMP{Type: ICMPEchoRequest, ID: 77, Seq: 3, Payload: []byte("ping")}
+	var got ICMP
+	if err := got.DecodeFromBytes(c.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != c.Type || got.ID != 77 || got.Seq != 3 || !bytes.Equal(got.Payload, c.Payload) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if cs := Checksum(c.Bytes(), 0); cs != 0 {
+		t.Errorf("ICMP checksum does not verify: %04x", cs)
+	}
+}
+
+func TestDHCPRoundTrip(t *testing.T) {
+	d := DHCP{
+		Op: DHCPBootRequest, XID: 0xdeadbeef, Flags: 0x8000,
+		CHAddr: MustMAC("11:22:33:44:55:66"), SName: "router", File: "boot.img",
+	}
+	d.AddMsgType(DHCPDiscover)
+	d.AddOption(DHCPOptHostname, []byte("toms-mac-air"))
+	var got DHCP
+	if err := got.DecodeFromBytes(d.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if got.XID != d.XID || got.CHAddr != d.CHAddr || got.MsgType() != DHCPDiscover {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if got.Hostname() != "toms-mac-air" {
+		t.Errorf("Hostname() = %q", got.Hostname())
+	}
+	if got.SName != "router" || got.File != "boot.img" {
+		t.Errorf("sname/file = %q/%q", got.SName, got.File)
+	}
+	if len(got.Bytes()) < 300 {
+		t.Error("DHCP message shorter than BOOTP minimum")
+	}
+}
+
+func TestDHCPOptions(t *testing.T) {
+	var d DHCP
+	d.AddMsgType(DHCPOffer)
+	d.AddIPOption(DHCPOptServerID, MustIP4("192.168.1.1"))
+	d.AddIPOption(DHCPOptSubnetMask, MustIP4("255.255.255.255"))
+	d.AddDurationOption(DHCPOptLeaseTime, 3600e9)
+	d.Op = DHCPBootReply
+	d.CHAddr = MustMAC("11:22:33:44:55:66")
+
+	var got DHCP
+	if err := got.DecodeFromBytes(d.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if sid, ok := got.ServerID(); !ok || sid != MustIP4("192.168.1.1") {
+		t.Errorf("ServerID = %v, %v", sid, ok)
+	}
+	if mask, ok := got.SubnetMask(); !ok || mask != MustIP4("255.255.255.255") {
+		t.Errorf("SubnetMask = %v, %v", mask, ok)
+	}
+	if lt, ok := got.LeaseTime(); !ok || lt.Seconds() != 3600 {
+		t.Errorf("LeaseTime = %v, %v", lt, ok)
+	}
+}
+
+func TestDHCPRejectsBadMagic(t *testing.T) {
+	d := DHCP{Op: DHCPBootRequest, CHAddr: MAC{1}}
+	raw := d.Bytes()
+	raw[236] = 0
+	var got DHCP
+	if err := got.DecodeFromBytes(raw); err != ErrMalformed {
+		t.Errorf("want ErrMalformed, got %v", err)
+	}
+}
+
+func TestDNSQueryRoundTrip(t *testing.T) {
+	q := NewDNSQuery(0x1234, "www.facebook.com", DNSTypeA)
+	raw, err := q.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got DNS
+	if err := got.DecodeFromBytes(raw); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 0x1234 || got.Response || len(got.Questions) != 1 {
+		t.Fatalf("bad decode: %+v", got)
+	}
+	if got.Questions[0].Name != "www.facebook.com" || got.Questions[0].Type != DNSTypeA {
+		t.Errorf("bad question: %+v", got.Questions[0])
+	}
+}
+
+func TestDNSResponseRoundTrip(t *testing.T) {
+	q := NewDNSQuery(7, "facebook.com", DNSTypeA)
+	q.Response = true
+	q.RA = true
+	q.AnswerA(MustIP4("157.240.1.35"), 300)
+	raw, err := q.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got DNS
+	if err := got.DecodeFromBytes(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Response || len(got.Answers) != 1 {
+		t.Fatalf("bad decode: %+v", got)
+	}
+	if ip, ok := got.Answers[0].A(); !ok || ip != MustIP4("157.240.1.35") {
+		t.Errorf("A() = %v, %v", ip, ok)
+	}
+}
+
+func TestDNSCompressionPointer(t *testing.T) {
+	// Hand-built response with a compressed answer name pointing at the
+	// question name (offset 12).
+	raw := []byte{
+		0x00, 0x07, 0x81, 0x80, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00,
+		3, 'w', 'w', 'w', 7, 'e', 'x', 'a', 'm', 'p', 'l', 'e', 3, 'c', 'o', 'm', 0,
+		0x00, 0x01, 0x00, 0x01, // qtype A, qclass IN
+		0xc0, 0x0c, // pointer to offset 12
+		0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x3c, // A IN TTL 60
+		0x00, 0x04, 93, 184, 216, 34,
+	}
+	var got DNS
+	if err := got.DecodeFromBytes(raw); err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].Name != "www.example.com" {
+		t.Errorf("compressed name = %q", got.Answers[0].Name)
+	}
+	if ip, _ := got.Answers[0].A(); ip != MustIP4("93.184.216.34") {
+		t.Errorf("A = %v", ip)
+	}
+}
+
+func TestDNSCompressionLoopRejected(t *testing.T) {
+	raw := []byte{
+		0x00, 0x07, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+		0xc0, 0x0c, // pointer to itself
+		0x00, 0x01, 0x00, 0x01,
+	}
+	var got DNS
+	if err := got.DecodeFromBytes(raw); err == nil {
+		t.Error("self-referential compression pointer accepted")
+	}
+}
+
+func TestReverseName(t *testing.T) {
+	ip := MustIP4("192.168.1.54")
+	name := ReverseName(ip)
+	if name != "54.1.168.192.in-addr.arpa" {
+		t.Errorf("ReverseName = %q", name)
+	}
+	back, ok := ParseReverseName(name)
+	if !ok || back != ip {
+		t.Errorf("ParseReverseName = %v, %v", back, ok)
+	}
+	if _, ok := ParseReverseName("not.a.reverse.name"); ok {
+		t.Error("bogus reverse name accepted")
+	}
+}
+
+func TestFiveTupleReverseAndHash(t *testing.T) {
+	ft := FiveTuple{
+		Src: MustIP4("10.0.0.1"), Dst: MustIP4("8.8.8.8"),
+		Proto: ProtoTCP, SrcPort: 49152, DstPort: 443,
+	}
+	rev := ft.Reverse()
+	if rev.Src != ft.Dst || rev.SrcPort != ft.DstPort {
+		t.Errorf("Reverse() = %+v", rev)
+	}
+	if ft.FastHash() != rev.FastHash() {
+		t.Error("FastHash not symmetric")
+	}
+	other := ft
+	other.DstPort = 80
+	if ft.FastHash() == other.FastHash() {
+		t.Error("distinct flows hash equal (unlikely collision)")
+	}
+}
+
+func TestFlowKeyAndDecoded(t *testing.T) {
+	f := NewTCPFrame(
+		MustMAC("11:22:33:44:55:66"), MustMAC("66:55:44:33:22:11"),
+		MustIP4("10.0.0.2"), MustIP4("93.184.216.34"), 49152, 80, TCPSyn, 1, nil)
+	ft, ok := FlowKey(f)
+	if !ok {
+		t.Fatal("FlowKey failed")
+	}
+	if ft.Proto != ProtoTCP || ft.DstPort != 80 {
+		t.Errorf("FlowKey = %+v", ft)
+	}
+	var d Decoded
+	if err := d.Decode(f.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasTCP || d.TCP.Flags != TCPSyn {
+		t.Errorf("Decoded = %+v", d)
+	}
+	ft2, ok := d.FiveTuple()
+	if !ok || ft2 != ft {
+		t.Errorf("Decoded.FiveTuple = %+v, %v", ft2, ok)
+	}
+}
+
+func TestWellKnownService(t *testing.T) {
+	cases := []struct {
+		proto IPProto
+		port  uint16
+		want  string
+	}{
+		{ProtoTCP, 80, "http"},
+		{ProtoTCP, 443, "https"},
+		{ProtoUDP, 53, "dns"},
+		{ProtoUDP, 5060, "voip"},
+		{ProtoTCP, 6881, "p2p"},
+		{ProtoICMP, 0, "icmp"},
+		{ProtoTCP, 12345, "other"},
+	}
+	for _, c := range cases {
+		if got := WellKnownService(c.proto, c.port); got != c.want {
+			t.Errorf("WellKnownService(%v,%d) = %q, want %q", c.proto, c.port, got, c.want)
+		}
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// RFC 1071: odd final byte is padded with zero.
+	if Checksum([]byte{0x01}, 0) != ^uint16(0x0100) {
+		t.Error("odd-length checksum wrong")
+	}
+}
+
+// Property: Ethernet round trip preserves all fields for arbitrary payloads.
+func TestEthernetRoundTripQuick(t *testing.T) {
+	f := func(dst, src [6]byte, payload []byte) bool {
+		e := Ethernet{Dst: MAC(dst), Src: MAC(src), Type: EtherTypeIPv4, Payload: payload}
+		var got Ethernet
+		if err := got.DecodeFromBytes(e.Bytes()); err != nil {
+			return false
+		}
+		return got.Dst == e.Dst && got.Src == e.Src && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: UDP checksums always verify against the pseudo-header.
+func TestUDPChecksumQuick(t *testing.T) {
+	f := func(sp, dp uint16, src, dst [4]byte, payload []byte) bool {
+		u := UDP{SrcPort: sp, DstPort: dp, Payload: payload}
+		raw := u.Bytes(IP4(src), IP4(dst))
+		sum := Checksum(raw, pseudoHeaderSum(IP4(src), IP4(dst), ProtoUDP, len(raw)))
+		return sum == 0 || sum == 0xffff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FastHash symmetry holds for arbitrary tuples.
+func TestFiveTupleHashSymmetryQuick(t *testing.T) {
+	f := func(src, dst [4]byte, sp, dp uint16, proto uint8) bool {
+		ft := FiveTuple{Src: IP4(src), Dst: IP4(dst), Proto: IPProto(proto), SrcPort: sp, DstPort: dp}
+		return ft.FastHash() == ft.Reverse().FastHash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoder never panics on arbitrary input.
+func TestDecodeNeverPanicsQuick(t *testing.T) {
+	f := func(data []byte) bool {
+		var d Decoded
+		_ = d.Decode(data)
+		var dns DNS
+		_ = dns.DecodeFromBytes(data)
+		var dhcp DHCP
+		_ = dhcp.DecodeFromBytes(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDecodeTCPFrame(b *testing.B) {
+	f := NewTCPFrame(MAC{1}, MAC{2}, IP4{10, 0, 0, 1}, IP4{10, 0, 0, 2}, 1234, 80, TCPAck, 1, make([]byte, 1000))
+	raw := f.Bytes()
+	var d Decoded
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Decode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerializeTCPFrame(b *testing.B) {
+	buf := make([]byte, 0, 1600)
+	tcp := TCP{SrcPort: 1234, DstPort: 80, Flags: TCPAck, Payload: make([]byte, 1000)}
+	src, dst := IP4{10, 0, 0, 1}, IP4{10, 0, 0, 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tcp.Serialize(buf[:0], src, dst)
+	}
+}

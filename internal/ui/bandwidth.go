@@ -1,0 +1,170 @@
+// Package ui implements the four novel management interfaces the paper
+// demonstrates, as display models fed from the platform's measurement and
+// control APIs: the per-device per-protocol bandwidth view (Figure 1), the
+// physical network artifact with its three LED modes (Figure 2), the
+// situated DHCP control interface (Figure 3) and the USB-mediated cartoon
+// policy interface (Figure 4). Each model renders to text so examples,
+// tests and the figures harness can show exactly what the paper's screens
+// showed.
+package ui
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/hwdb"
+	"repro/internal/packet"
+)
+
+// BandwidthRow is one line of the Figure-1 display.
+type BandwidthRow struct {
+	Device   string // hostname if known, else MAC
+	MAC      packet.MAC
+	Service  string // protocol label ("http", "dns", ...)
+	Bytes    uint64
+	BytesPer float64 // bytes/second over the window
+}
+
+// BandwidthView computes the per-device per-protocol bandwidth consumption
+// the iPhone interface displays, from the hwdb Flows and Leases tables.
+type BandwidthView struct {
+	DB *hwdb.DB
+	// Window is the temporal window shown (default 10 seconds).
+	Window time.Duration
+}
+
+// NewBandwidthView builds a view over db.
+func NewBandwidthView(db *hwdb.DB) *BandwidthView {
+	return &BandwidthView{DB: db, Window: 10 * time.Second}
+}
+
+// hostnames maps MAC -> latest hostname from the Leases table.
+func (v *BandwidthView) hostnames() map[packet.MAC]string {
+	out := make(map[packet.MAC]string)
+	res, err := v.DB.Query("SELECT mac, hostname, action FROM Leases")
+	if err != nil {
+		return out
+	}
+	for _, row := range res.Rows {
+		if row[2].Str == "add" && row[1].Str != "" {
+			out[row[0].MAC()] = row[1].Str
+		}
+	}
+	return out
+}
+
+// Rows computes the current display rows, most-consuming device first (the
+// left-hand side of Figure 5's screenshot), each device's services sorted
+// by volume (its right-hand side).
+func (v *BandwidthView) Rows() ([]BandwidthRow, error) {
+	window := v.Window
+	if window <= 0 {
+		window = 10 * time.Second
+	}
+	secs := window.Seconds()
+	q := fmt.Sprintf(
+		"SELECT mac, proto, dport, sport, sum(bytes) AS bytes FROM Flows [RANGE %g SECONDS] GROUP BY mac, proto, dport, sport",
+		secs)
+	res, err := v.DB.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	names := v.hostnames()
+
+	type key struct {
+		mac     packet.MAC
+		service string
+	}
+	agg := make(map[key]uint64)
+	for _, row := range res.Rows {
+		mac := row[0].MAC()
+		proto := packet.IPProto(row[1].Int)
+		dport := uint16(row[2].Int)
+		sport := uint16(row[3].Int)
+		// The service is identified by whichever side is well-known (the
+		// paper's "imperfect application-protocol mapping").
+		svc := packet.WellKnownService(proto, dport)
+		if svc == "other" {
+			svc = packet.WellKnownService(proto, sport)
+		}
+		agg[key{mac, svc}] += uint64(row[4].AsFloat())
+	}
+
+	rows := make([]BandwidthRow, 0, len(agg))
+	for k, bytes := range agg {
+		name := names[k.mac]
+		if name == "" {
+			name = k.mac.String()
+		}
+		rows = append(rows, BandwidthRow{
+			Device: name, MAC: k.mac, Service: k.service,
+			Bytes: bytes, BytesPer: float64(bytes) / secs,
+		})
+	}
+	// Order: devices by total desc, then services by bytes desc.
+	totals := make(map[packet.MAC]uint64)
+	for _, r := range rows {
+		totals[r.MAC] += r.Bytes
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ti, tj := totals[rows[i].MAC], totals[rows[j].MAC]
+		if ti != tj {
+			return ti > tj
+		}
+		if rows[i].MAC != rows[j].MAC {
+			return rows[i].MAC.String() < rows[j].MAC.String()
+		}
+		return rows[i].Bytes > rows[j].Bytes
+	})
+	return rows, nil
+}
+
+// Render draws the display as text: one block per device with its protocol
+// breakdown, mirroring Figure 1.
+func (v *BandwidthView) Render() (string, error) {
+	rows, err := v.Rows()
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Per-device bandwidth (last %s)\n", v.Window)
+	sb.WriteString(strings.Repeat("-", 46))
+	sb.WriteByte('\n')
+	if len(rows) == 0 {
+		sb.WriteString("(no traffic)\n")
+		return sb.String(), nil
+	}
+	current := ""
+	var devTotal uint64
+	flush := func() {
+		if current != "" {
+			fmt.Fprintf(&sb, "  %-34s %9s\n", "total", humanRate(float64(devTotal)/v.Window.Seconds()))
+		}
+	}
+	for _, r := range rows {
+		if r.Device != current {
+			flush()
+			current = r.Device
+			devTotal = 0
+			fmt.Fprintf(&sb, "%s\n", r.Device)
+		}
+		devTotal += r.Bytes
+		fmt.Fprintf(&sb, "  %-34s %9s\n", r.Service, humanRate(r.BytesPer))
+	}
+	flush()
+	return sb.String(), nil
+}
+
+// humanRate formats bytes/second.
+func humanRate(bps float64) string {
+	switch {
+	case bps >= 1e6:
+		return fmt.Sprintf("%.1fMB/s", bps/1e6)
+	case bps >= 1e3:
+		return fmt.Sprintf("%.1fkB/s", bps/1e3)
+	default:
+		return fmt.Sprintf("%.0fB/s", bps)
+	}
+}

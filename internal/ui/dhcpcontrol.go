@@ -1,0 +1,136 @@
+package ui
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// DHCPControl is the situated control display of Figure 3: it lists the
+// devices the DHCP server knows in three categories, lets the user attach
+// metadata, and implements the drag gesture as permit/deny calls against
+// the control API — exactly how the paper's interface exercises control.
+type DHCPControl struct {
+	// BaseURL is the control API root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client is the HTTP client (http.DefaultClient if nil).
+	Client *http.Client
+}
+
+// NewDHCPControl builds a control display talking to the API at baseURL.
+func NewDHCPControl(baseURL string) *DHCPControl {
+	return &DHCPControl{BaseURL: strings.TrimSuffix(baseURL, "/")}
+}
+
+func (c *DHCPControl) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+// DeviceTab is one device tab on the display.
+type DeviceTab struct {
+	MAC      string `json:"mac"`
+	Hostname string `json:"hostname"`
+	Metadata string `json:"metadata"`
+	State    string `json:"state"`
+	IP       string `json:"ip"`
+}
+
+// Devices fetches the current device tabs.
+func (c *DHCPControl) Devices() ([]DeviceTab, error) {
+	resp, err := c.client().Get(c.BaseURL + "/api/devices")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("ui: control API status %s", resp.Status)
+	}
+	var tabs []DeviceTab
+	if err := json.NewDecoder(resp.Body).Decode(&tabs); err != nil {
+		return nil, err
+	}
+	return tabs, nil
+}
+
+// DragTo implements the drag gesture: moving a device's tab into the
+// "permitted" or "denied" category.
+func (c *DHCPControl) DragTo(mac, category string) error {
+	switch category {
+	case "permitted":
+		return c.post("/api/devices/" + mac + "/permit")
+	case "denied":
+		return c.post("/api/devices/" + mac + "/deny")
+	}
+	return fmt.Errorf("ui: unknown category %q", category)
+}
+
+// Annotate attaches user-supplied metadata to a device.
+func (c *DHCPControl) Annotate(mac, note string) error {
+	resp, err := c.client().Post(
+		c.BaseURL+"/api/devices/"+mac+"/annotate", "text/plain",
+		bytes.NewBufferString(note))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ui: control API status %s", resp.Status)
+	}
+	return nil
+}
+
+func (c *DHCPControl) post(path string) error {
+	resp, err := c.client().Post(c.BaseURL+path, "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ui: control API status %s", resp.Status)
+	}
+	return nil
+}
+
+// Render draws the three-category display.
+func (c *DHCPControl) Render() (string, error) {
+	tabs, err := c.Devices()
+	if err != nil {
+		return "", err
+	}
+	cats := map[string][]DeviceTab{}
+	for _, t := range tabs {
+		cats[t.State] = append(cats[t.State], t)
+	}
+	var sb strings.Builder
+	sb.WriteString("DHCP control\n")
+	for _, cat := range []string{"pending", "permitted", "denied"} {
+		fmt.Fprintf(&sb, "== %s ==\n", cat)
+		list := cats[cat]
+		sort.Slice(list, func(i, j int) bool { return list[i].MAC < list[j].MAC })
+		if len(list) == 0 {
+			sb.WriteString("  (none)\n")
+			continue
+		}
+		for _, t := range list {
+			name := t.Hostname
+			if name == "" {
+				name = "?"
+			}
+			line := fmt.Sprintf("  [%s] %s", t.MAC, name)
+			if t.IP != "" {
+				line += " " + t.IP
+			}
+			if t.Metadata != "" {
+				line += " — " + t.Metadata
+			}
+			sb.WriteString(line + "\n")
+		}
+	}
+	return sb.String(), nil
+}

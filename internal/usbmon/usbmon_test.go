@@ -1,0 +1,131 @@
+package usbmon
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/policy"
+)
+
+func testPolicy() *policy.Policy {
+	return &policy.Policy{
+		Name:         "kids-facebook",
+		Devices:      []string{"02:aa:00:00:00:01"},
+		AllowedSites: []string{"facebook.com"},
+		RequireKey:   "parent-key",
+	}
+}
+
+func TestWriteKeyLayout(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "usb0")
+	if err := WriteKey(dir, "parent-key", testPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	id, ok := readKeyID(filepath.Join(dir, "homework.key"))
+	if !ok || id != "parent-key" {
+		t.Errorf("key id = %q, %v", id, ok)
+	}
+	p, ok := readPolicy(filepath.Join(dir, "policy.json"))
+	if !ok || p.Name != "kids-facebook" {
+		t.Errorf("policy = %+v, %v", p, ok)
+	}
+}
+
+func TestScanInsertAndRemove(t *testing.T) {
+	root := t.TempDir()
+	eng := policy.NewEngine(clock.NewSimulated())
+	m := New(root, eng)
+
+	// Empty root: nothing happens.
+	if err := m.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Events()) != 0 {
+		t.Fatal("events on empty root")
+	}
+
+	// "Insert" the key.
+	keyDir := filepath.Join(root, "sda1")
+	if err := WriteKey(keyDir, "parent-key", testPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	evs := m.Events()
+	if len(evs) != 1 || evs[0].Action != "insert" || evs[0].KeyID != "parent-key" {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].Policy != "kids-facebook" {
+		t.Errorf("policy not installed on insert: %+v", evs[0])
+	}
+	if !eng.KeyInserted("parent-key") {
+		t.Error("engine does not see the key")
+	}
+	if len(eng.Policies()) != 1 {
+		t.Error("policy not installed")
+	}
+
+	// Rescan: no duplicate events.
+	_ = m.Scan()
+	if len(m.Events()) != 1 {
+		t.Errorf("duplicate events: %+v", m.Events())
+	}
+
+	// "Remove" the key.
+	if err := os.RemoveAll(keyDir); err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Scan()
+	evs = m.Events()
+	if len(evs) != 2 || evs[1].Action != "remove" {
+		t.Fatalf("events = %+v", evs)
+	}
+	if eng.KeyInserted("parent-key") {
+		t.Error("engine still sees removed key")
+	}
+}
+
+func TestScanIgnoresNonKeys(t *testing.T) {
+	root := t.TempDir()
+	eng := policy.NewEngine(clock.NewSimulated())
+	m := New(root, eng)
+	// A directory without homework.key is not a key.
+	if err := os.MkdirAll(filepath.Join(root, "random-stick"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A stray file at the root is ignored.
+	if err := os.WriteFile(filepath.Join(root, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Scan()
+	if len(m.Events()) != 0 {
+		t.Errorf("events = %+v", m.Events())
+	}
+}
+
+func TestKeyWithoutPolicyStillInserts(t *testing.T) {
+	root := t.TempDir()
+	eng := policy.NewEngine(clock.NewSimulated())
+	m := New(root, eng)
+	if err := WriteKey(filepath.Join(root, "sdb1"), "guest-key", nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Scan()
+	if !eng.KeyInserted("guest-key") {
+		t.Error("bare key not inserted")
+	}
+	if len(eng.Policies()) != 0 {
+		t.Error("phantom policy installed")
+	}
+}
+
+func TestMissingRootIsNotError(t *testing.T) {
+	eng := policy.NewEngine(clock.NewSimulated())
+	m := New(filepath.Join(t.TempDir(), "nonexistent"), eng)
+	if err := m.Scan(); err != nil {
+		t.Errorf("missing root: %v", err)
+	}
+}
