@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datapath"
 	"repro/internal/figures"
+	"repro/internal/fleet"
 	"repro/internal/hwdb"
 	"repro/internal/netsim"
 	"repro/internal/nox"
@@ -476,6 +477,92 @@ func BenchmarkA3RingSizing(b *testing.B) {
 			inserts, dropped := tbl.Stats()
 			b.ReportMetric(float64(dropped)/float64(inserts), "drop-rate")
 		})
+	}
+}
+
+// ------------------------------------------------------------ F: fleet
+
+// BenchmarkFleetStep measures one fleet tick — every home's traffic
+// emitted, control plane settled, measurement polled — as the fleet
+// grows: the controller-scaling trajectory the ROADMAP tracks. Each home
+// runs two hosts with a web workload.
+func BenchmarkFleetStep(b *testing.B) {
+	for _, homes := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("homes-%d", homes), func(b *testing.B) {
+			benchFleetStep(b, homes)
+		})
+	}
+}
+
+func benchFleetStep(b *testing.B, homes int) {
+	f := fleet.New(fleet.Config{Clock: clock.NewSimulated(), Seed: 5})
+	b.Cleanup(f.Stop)
+	if _, err := f.AddHomes(homes); err != nil {
+		b.Fatal(err)
+	}
+	for _, h := range f.Homes() {
+		for i := 0; i < 2; i++ {
+			host, err := h.Join("", false, netsim.Pos{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Literal target: the step cost under test is datapath +
+			// control + measurement, not name resolution.
+			host.AddApp(netsim.NewApp(netsim.AppWeb, "203.0.113.10", 40_000))
+		}
+	}
+	// Warm to steady state: tick 0 resolves targets, tick 1 punts and
+	// installs the flows, tick 2 is the first fully-measured tick.
+	for i := 0; i < 3; i++ {
+		if err := f.Step(0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Step(0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(homes)*float64(b.N)/b.Elapsed().Seconds(), "home-steps/s")
+	if f.Aggregate(); f.Totals().Flows == 0 {
+		b.Fatal("fleet stepped but no flows were folded")
+	}
+}
+
+// BenchmarkFleetAggregate measures the fleet-wide hwdb fold at 8 homes
+// with traffic already rung up: the batched-read path's cost.
+func BenchmarkFleetAggregate(b *testing.B) {
+	f := fleet.New(fleet.Config{Clock: clock.NewSimulated(), Seed: 5})
+	b.Cleanup(f.Stop)
+	if _, err := f.AddHomes(8); err != nil {
+		b.Fatal(err)
+	}
+	for _, h := range f.Homes() {
+		host, err := h.Join("", false, netsim.Pos{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		host.AddApp(netsim.NewApp(netsim.AppWeb, "203.0.113.10", 200_000))
+	}
+	for i := 0; i < 8; i++ {
+		if err := f.Step(0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Tail is a consuming cursor read: ring up one fresh interval of
+		// rows (untimed) before each fold, or every iteration after the
+		// first would measure an empty fold.
+		b.StopTimer()
+		if err := f.Step(0.25); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		f.Aggregate()
 	}
 }
 

@@ -1,0 +1,104 @@
+// Command hwfleetd runs a fleet of Homework homes in one process: N
+// independent routers (each with its own datapath, controller modules,
+// hwdb and simulated home network) stepped concurrently by a sharded
+// worker pool, with every home's hwdb folded into a fleet-wide
+// FleetStats view.
+//
+//	hwfleetd [-homes 64] [-hosts 3] [-shards 8] [-duration 10] [-scenario fleet.json]
+//
+// Flags override the scenario (default or loaded from -scenario JSON).
+// On completion it prints the run report plus the busiest homes from the
+// aggregated view, and with -cql executes one more query against it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/fleet"
+)
+
+func main() {
+	scenarioPath := flag.String("scenario", "", "scenario JSON file (defaults applied to absent fields)")
+	homes := flag.Int("homes", 0, "override: number of homes")
+	hosts := flag.Int("hosts", 0, "override: hosts per home")
+	shards := flag.Int("shards", 0, "override: worker shards (0 = fleet default)")
+	duration := flag.Float64("duration", 0, "override: simulated seconds to run")
+	churn := flag.Float64("churn", -1, "override: churn events per home per simulated minute")
+	seed := flag.Int64("seed", 0, "override: fleet seed")
+	cql := flag.String("cql", "", "extra CQL query to run against the FleetStats view")
+	quiet := flag.Bool("q", false, "suppress progress lines")
+	flag.Parse()
+
+	s := fleet.DefaultScenario()
+	if *scenarioPath != "" {
+		var err error
+		if s, err = fleet.LoadScenario(*scenarioPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *homes > 0 {
+		s.Homes = *homes
+	}
+	if *hosts > 0 {
+		s.HostsPerHome = *hosts
+	}
+	if *shards > 0 {
+		s.Shards = *shards
+	}
+	if *duration > 0 {
+		s.DurationSec = *duration
+	}
+	if *churn >= 0 {
+		s.ChurnPerMin = *churn
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+	if err := s.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	runner, err := fleet.NewRunner(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		runner.Logf = log.Printf
+	}
+
+	rep, err := runner.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer runner.Close()
+
+	fmt.Printf("scenario  %s\n", rep.Scenario)
+	fmt.Printf("homes     %d (%d shards)\n", rep.Homes, rep.Shards)
+	fmt.Printf("steps     %d (%.1fs simulated in %v wall)\n", rep.Steps, rep.SimSeconds, rep.Wall.Round(1_000_000))
+	fmt.Printf("churn     %d host replacements\n", rep.Churned)
+	fmt.Printf("folds     %d\n", rep.Totals.Folds)
+	fmt.Printf("hosts     %d across the fleet\n", rep.Totals.Hosts)
+	fmt.Printf("flows     %d observations, %d packets, %d bytes\n",
+		rep.Totals.Flows, rep.Totals.Packets, rep.Totals.Bytes)
+	fmt.Printf("links     %d observations (%d rows lost to ring wrap)\n", rep.Totals.Links, rep.Totals.Lost)
+	if len(rep.TopHomes) > 0 {
+		fmt.Println("top homes by folded bytes:")
+		for _, h := range rep.TopHomes {
+			fmt.Printf("  home-%-4d %10d bytes  %6d flow observations\n", h.Home, h.Bytes, h.Flows)
+		}
+	}
+	if *cql != "" {
+		res, err := runner.Fleet().DB().Query(*cql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Text())
+	}
+	if rep.Totals.Flows == 0 {
+		fmt.Fprintln(os.Stderr, "warning: no flows folded — scenario too short?")
+		os.Exit(1)
+	}
+}

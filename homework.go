@@ -27,6 +27,7 @@ package homework
 import (
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/hwdb"
 	"repro/internal/netsim"
 	"repro/internal/packet"
@@ -143,6 +144,42 @@ type USBMonitor = usbmon.Monitor
 // NewUSBMonitor builds a monitor that drives a router's policy engine.
 func NewUSBMonitor(root string, rt *Router) *USBMonitor {
 	return usbmon.New(root, rt.Policy)
+}
+
+// Fleet orchestrates many independent Homework homes in one process:
+// sharded concurrent stepping, a fleet-wide hwdb stats view, and
+// declarative workload scenarios (see cmd/hwfleetd).
+type Fleet = fleet.Fleet
+
+// FleetConfig parameterizes a fleet.
+type FleetConfig = fleet.Config
+
+// FleetHome is one managed home within a fleet.
+type FleetHome = fleet.Home
+
+// FleetScenario declares a fleet workload (homes, hosts, app mix, churn).
+type FleetScenario = fleet.Scenario
+
+// FleetReport summarizes a scenario run.
+type FleetReport = fleet.Report
+
+// NewFleet creates an empty fleet; add homes with AddHome/AddHomes.
+func NewFleet(cfg FleetConfig) *Fleet { return fleet.New(cfg) }
+
+// DefaultFleetScenario is a small mixed-workload fleet scenario.
+func DefaultFleetScenario() FleetScenario { return fleet.DefaultScenario() }
+
+// RunFleetScenario executes a scenario end-to-end and reports; logf (may
+// be nil) receives progress lines.
+func RunFleetScenario(s FleetScenario, logf func(string, ...any)) (*FleetReport, error) {
+	r, err := fleet.NewRunner(s)
+	if err != nil {
+		return nil, err
+	}
+	r.Logf = logf
+	rep, err := r.Run()
+	r.Close()
+	return rep, err
 }
 
 // Clock abstracts time; SimulatedClock is deterministic for tests.

@@ -44,6 +44,10 @@ type Config struct {
 	Clock clock.Clock
 	// Seed seeds the wireless model.
 	Seed int64
+	// DisableRPC skips the per-router hwdb UDP server. Fleet deployments
+	// aggregate hwdb state centrally and would otherwise bind one socket
+	// per home.
+	DisableRPC bool
 }
 
 // DefaultConfig returns the configuration used by the examples and the
@@ -209,10 +213,19 @@ func (r *Router) Start() error {
 	case <-time.After(10 * time.Second):
 		return fmt.Errorf("core: datapath did not join the controller")
 	}
+	// The modules' OnJoin handlers ran before ours (registration order), so
+	// their punt-rule flow-mods are already on the wire; round-trip a
+	// barrier so a packet sent the instant Start returns cannot miss into
+	// the default table-miss punt and arrive truncated.
+	if err := r.sw.Barrier(); err != nil {
+		return fmt.Errorf("core: barrier after join: %w", err)
+	}
 
-	r.HwdbServer = hwdb.NewServer(r.DB)
-	if err := r.HwdbServer.Serve("127.0.0.1:0"); err != nil {
-		return err
+	if !r.Config.DisableRPC {
+		r.HwdbServer = hwdb.NewServer(r.DB)
+		if err := r.HwdbServer.Serve("127.0.0.1:0"); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,208 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/hwdb"
+)
+
+// TableFleetStats is the fleet-wide stats view: one row per home per
+// fold, in an hwdb of its own so the same CQL the per-home interfaces
+// speak works across the whole fleet.
+const TableFleetStats = "FleetStats"
+
+// DefaultStatsRing sizes the FleetStats ring: at one fold a second it
+// holds over four minutes of history for a 256-home fleet.
+const DefaultStatsRing = 65536
+
+// HomeStats is one home's delta since the previous fold.
+type HomeStats struct {
+	Home     uint64
+	Hosts    int    // hosts attached to the home network at fold time
+	Devices  int    // distinct device MACs with new flow observations
+	Flows    int    // new flow observations folded
+	Packets  uint64 // packets in those observations
+	Bytes    uint64 // bytes in those observations
+	Links    int    // new link-layer observations folded
+	MeanRSSI float64
+	Lost     uint64 // ring-wrapped rows the fold could not read
+}
+
+// FleetSnapshot is what one fold saw across every live home.
+type FleetSnapshot struct {
+	When  time.Time
+	Homes []HomeStats // ascending home ID
+	FleetTotals
+}
+
+// FleetTotals are cumulative fleet-wide counters.
+type FleetTotals struct {
+	Folds   uint64
+	Homes   int // live homes at the latest fold
+	Hosts   int // hosts across the fleet at the latest fold
+	Flows   uint64
+	Packets uint64
+	Bytes   uint64
+	Links   uint64
+	Lost    uint64
+}
+
+// cursor marks how many of a home's ring inserts previous folds consumed.
+type cursor struct {
+	flows uint64
+	links uint64
+}
+
+// aggregator folds per-home hwdb tables into the fleet-wide view. Reads
+// are batched: one cursor read (Table.Tail) per table per home per fold —
+// a single lock acquisition each — instead of per-row or per-device
+// queries.
+type aggregator struct {
+	db *hwdb.DB
+
+	// foldMu serializes whole folds: cursor reads and writes must be
+	// atomic across a fold or two overlapping Aggregate calls would
+	// consume (and double-count) the same Tail rows.
+	foldMu sync.Mutex
+
+	mu      sync.Mutex
+	cursors map[uint64]cursor
+	sums    FleetTotals
+}
+
+func newAggregator(clk clock.Clock, ringSize int) *aggregator {
+	if ringSize <= 0 {
+		ringSize = DefaultStatsRing
+	}
+	db := hwdb.New(clk)
+	_, err := db.CreateTable(TableFleetStats, hwdb.NewSchema(
+		hwdb.Column{Name: "home", Type: hwdb.TInt},
+		hwdb.Column{Name: "hosts", Type: hwdb.TInt},
+		hwdb.Column{Name: "devices", Type: hwdb.TInt},
+		hwdb.Column{Name: "flows", Type: hwdb.TInt},
+		hwdb.Column{Name: "packets", Type: hwdb.TInt},
+		hwdb.Column{Name: "bytes", Type: hwdb.TInt},
+		hwdb.Column{Name: "links", Type: hwdb.TInt},
+		hwdb.Column{Name: "rssi", Type: hwdb.TReal},
+	), ringSize)
+	if err != nil {
+		panic(err) // fresh DB, fixed name: cannot collide
+	}
+	return &aggregator{db: db, cursors: make(map[uint64]cursor)}
+}
+
+// DB exposes the fleet-wide view for CQL queries.
+func (a *aggregator) DB() *hwdb.DB { return a.db }
+
+// fold reads every home's Flows and Links rings forward from the last
+// fold's cursor, reduces them to per-home deltas, appends one FleetStats
+// row per active home, and returns the snapshot. Idle homes still report
+// their host count in the snapshot but insert no row (the view records
+// activity, not liveness).
+func (a *aggregator) fold(homes []*Home) FleetSnapshot {
+	a.foldMu.Lock()
+	defer a.foldMu.Unlock()
+	snap := FleetSnapshot{When: a.db.Clock().Now()}
+	var totalHosts int
+	for _, h := range homes {
+		hs, cur := a.foldHome(h)
+		totalHosts += hs.Hosts
+		snap.Homes = append(snap.Homes, hs)
+		snap.Flows += uint64(hs.Flows)
+		snap.Packets += hs.Packets
+		snap.Bytes += hs.Bytes
+		snap.Links += uint64(hs.Links)
+		snap.Lost += hs.Lost
+
+		a.mu.Lock()
+		a.cursors[h.ID] = cur
+		a.mu.Unlock()
+
+		if hs.Flows > 0 || hs.Links > 0 {
+			_ = a.db.Insert(TableFleetStats,
+				hwdb.Int64(int64(hs.Home)),
+				hwdb.Int64(int64(hs.Hosts)),
+				hwdb.Int64(int64(hs.Devices)),
+				hwdb.Int64(int64(hs.Flows)),
+				hwdb.Int64(int64(hs.Packets)),
+				hwdb.Int64(int64(hs.Bytes)),
+				hwdb.Int64(int64(hs.Links)),
+				hwdb.Float(hs.MeanRSSI))
+		}
+	}
+
+	a.mu.Lock()
+	a.sums.Folds++
+	a.sums.Homes = len(homes)
+	a.sums.Hosts = totalHosts
+	a.sums.Flows += snap.Flows
+	a.sums.Packets += snap.Packets
+	a.sums.Bytes += snap.Bytes
+	a.sums.Links += snap.Links
+	a.sums.Lost += snap.Lost
+	snap.FleetTotals.Folds = a.sums.Folds
+	snap.FleetTotals.Homes = len(homes)
+	snap.FleetTotals.Hosts = totalHosts
+	a.mu.Unlock()
+	return snap
+}
+
+// foldHome reduces one home's unread rows.
+func (a *aggregator) foldHome(h *Home) (HomeStats, cursor) {
+	a.mu.Lock()
+	cur := a.cursors[h.ID]
+	a.mu.Unlock()
+
+	hs := HomeStats{Home: h.ID, Hosts: len(h.Router.Net.Hosts())}
+	db := h.Router.DB
+
+	if t, ok := db.Table(hwdb.TableFlows); ok {
+		schema := t.Schema()
+		macIdx, _ := schema.Index("mac")
+		pktIdx, _ := schema.Index("packets")
+		bytIdx, _ := schema.Index("bytes")
+		rows, inserts, lost := t.Tail(cur.flows)
+		cur.flows = inserts
+		hs.Lost += lost
+		devices := make(map[int64]struct{})
+		for _, row := range rows {
+			hs.Flows++
+			hs.Packets += uint64(row.Vals[pktIdx].Int)
+			hs.Bytes += uint64(row.Vals[bytIdx].Int)
+			devices[row.Vals[macIdx].Int] = struct{}{}
+		}
+		hs.Devices = len(devices)
+	}
+	if t, ok := db.Table(hwdb.TableLinks); ok {
+		schema := t.Schema()
+		rssiIdx, _ := schema.Index("rssi")
+		rows, inserts, lost := t.Tail(cur.links)
+		cur.links = inserts
+		hs.Lost += lost
+		var rssiSum float64
+		for _, row := range rows {
+			hs.Links++
+			rssiSum += row.Vals[rssiIdx].AsFloat()
+		}
+		if hs.Links > 0 {
+			hs.MeanRSSI = rssiSum / float64(hs.Links)
+		}
+	}
+	return hs, cur
+}
+
+// forget drops a removed home's cursor.
+func (a *aggregator) forget(id uint64) {
+	a.mu.Lock()
+	delete(a.cursors, id)
+	a.mu.Unlock()
+}
+
+// totals returns the cumulative counters.
+func (a *aggregator) totals() FleetTotals {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sums
+}

@@ -1,0 +1,404 @@
+// Package fleet orchestrates many independent Homework homes inside one
+// process: the architectural seam between the paper's single-home router
+// and the ROADMAP's production-scale, million-user deployment. Each home
+// is a full core.Router — its own datapath, NOX controller modules, hwdb
+// and simulated network — and the fleet drives them through a sharded
+// worker pool with deterministic per-home ordering, folds every home's
+// hwdb link/flow tables into a fleet-wide FleetStats view, and runs
+// declarative scenarios (home count, hosts per home, app mix, churn) so
+// diverse workloads are one config away.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/hwdb"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+)
+
+// Config parameterizes a fleet.
+type Config struct {
+	// Shards is the worker-pool width; homes are assigned to shards by
+	// ID modulo Shards, so assignment is stable under churn. Default
+	// min(8, GOMAXPROCS).
+	Shards int
+	// Clock, when set, is shared by every home (pass a *clock.Simulated
+	// for deterministic runs; Step advances it by the step interval).
+	Clock clock.Clock
+	// Seed derives each home's wireless/churn randomness (home i uses
+	// Seed+i), so fleets are reproducible.
+	Seed int64
+	// MeasureEvery is how many fleet steps elapse between hwdb
+	// measurement polls in each home (default 1: poll every step).
+	MeasureEvery int
+	// RingSize bounds the fleet-wide stats view's ring (default
+	// DefaultStatsRing).
+	RingSize int
+	// HomeConfig, when set, mutates each new home's router config after
+	// the fleet defaults (AutoPermit, Seed, Clock) are applied.
+	HomeConfig func(id uint64, cfg *core.Config)
+
+	// onStep observes scheduler activity (tests only): it runs inside
+	// the worker, before the home is stepped.
+	onStep func(shard int, home uint64, step uint64)
+}
+
+// Home is one managed Homework deployment within a fleet.
+type Home struct {
+	ID     uint64
+	Name   string
+	Router *core.Router
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	steps   uint64
+	hostSeq uint32
+}
+
+// Fleet instantiates and drives N independent Homework homes.
+type Fleet struct {
+	cfg  Config
+	pool *pool
+	agg  *aggregator
+
+	mu     sync.Mutex
+	homes  map[uint64]*Home
+	nextID uint64
+	steps  uint64
+	closed bool
+}
+
+// New creates an empty fleet; add homes with AddHome/AddHomes.
+func New(cfg Config) *Fleet {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+		if cfg.Shards > 8 {
+			cfg.Shards = 8
+		}
+	}
+	if cfg.MeasureEvery <= 0 {
+		cfg.MeasureEvery = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Fleet{
+		cfg:   cfg,
+		pool:  newPool(cfg.Shards),
+		agg:   newAggregator(clk, cfg.RingSize),
+		homes: make(map[uint64]*Home),
+	}
+}
+
+// Shards returns the worker-pool width.
+func (f *Fleet) Shards() int { return f.cfg.Shards }
+
+// Size returns the number of live homes.
+func (f *Fleet) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.homes)
+}
+
+// Steps returns how many fleet ticks have run.
+func (f *Fleet) Steps() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.steps
+}
+
+// AddHome brings up one more home and returns it. The home's router runs
+// with AutoPermit (fleet homes have no per-home operator) and without the
+// per-home hwdb RPC server — the fleet's aggregated view stands in for it.
+func (f *Fleet) AddHome() (*Home, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, errors.New("fleet: closed")
+	}
+	id := f.nextID
+	f.nextID++
+	f.mu.Unlock()
+
+	cfg := core.DefaultConfig()
+	cfg.AutoPermit = true
+	cfg.DisableRPC = true
+	cfg.Seed = f.cfg.Seed + int64(id)
+	if f.cfg.Clock != nil {
+		cfg.Clock = f.cfg.Clock
+	}
+	if f.cfg.HomeConfig != nil {
+		f.cfg.HomeConfig(id, &cfg)
+	}
+	rt, err := core.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: home %d: %w", id, err)
+	}
+	if err := rt.Start(); err != nil {
+		rt.Stop()
+		return nil, fmt.Errorf("fleet: home %d: %w", id, err)
+	}
+	h := &Home{
+		ID:     id,
+		Name:   fmt.Sprintf("home-%d", id),
+		Router: rt,
+		rng:    rand.New(rand.NewSource(f.cfg.Seed + int64(id))),
+	}
+
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		rt.Stop()
+		return nil, errors.New("fleet: closed")
+	}
+	f.homes[id] = h
+	f.mu.Unlock()
+	return h, nil
+}
+
+// AddHomes brings up n homes concurrently (bring-up is dominated by each
+// home's controller join handshake, so parallelism matters at fleet
+// scale). Homes that fail to start are reported but do not abort the
+// rest; the successfully started homes are returned in ID order.
+func (f *Fleet) AddHomes(n int) ([]*Home, error) {
+	out := make([]*Home, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, f.cfg.Shards*2)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = f.AddHome()
+		}(i)
+	}
+	wg.Wait()
+	homes := make([]*Home, 0, n)
+	for _, h := range out {
+		if h != nil {
+			homes = append(homes, h)
+		}
+	}
+	sort.Slice(homes, func(i, j int) bool { return homes[i].ID < homes[j].ID })
+	return homes, errors.Join(errs...)
+}
+
+// Home returns a live home by ID.
+func (f *Fleet) Home(id uint64) (*Home, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h, ok := f.homes[id]
+	return h, ok
+}
+
+// Homes returns the live homes in ascending ID order — the same order
+// each worker shard steps its subset in.
+func (f *Fleet) Homes() []*Home {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.orderedLocked()
+}
+
+func (f *Fleet) orderedLocked() []*Home {
+	out := make([]*Home, 0, len(f.homes))
+	for _, h := range f.homes {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RemoveHome tears one home down. Its already-folded history stays in the
+// fleet stats view; its aggregation cursor is dropped.
+func (f *Fleet) RemoveHome(id uint64) bool {
+	f.mu.Lock()
+	h, ok := f.homes[id]
+	if ok {
+		delete(f.homes, id)
+	}
+	f.mu.Unlock()
+	if !ok {
+		return false
+	}
+	f.agg.forget(id)
+	h.Router.Stop()
+	return true
+}
+
+// Step advances the whole fleet by dt simulated seconds: every home's
+// traffic applications emit, its control plane settles, and (every
+// MeasureEvery-th step) its measurement plane polls flow and link state
+// into its hwdb. Homes are partitioned across the worker shards by ID
+// modulo Shards and each shard steps its homes in ascending ID order, so
+// the per-home step sequence is deterministic regardless of scheduling.
+// If the fleet shares a simulated clock, it is advanced by dt after the
+// barrier.
+func (f *Fleet) Step(dt float64) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return errors.New("fleet: closed")
+	}
+	f.steps++
+	step := f.steps
+	byShard := make([][]*Home, f.cfg.Shards)
+	for _, h := range f.orderedLocked() {
+		s := shardOf(h.ID, f.cfg.Shards)
+		byShard[s] = append(byShard[s], h)
+	}
+	f.mu.Unlock()
+
+	errs := make([]error, f.cfg.Shards)
+	var wg sync.WaitGroup
+	for si, hs := range byShard {
+		if len(hs) == 0 {
+			continue
+		}
+		si, hs := si, hs
+		wg.Add(1)
+		f.pool.submit(si, func() {
+			defer wg.Done()
+			for _, h := range hs {
+				if f.cfg.onStep != nil {
+					f.cfg.onStep(si, h.ID, step)
+				}
+				if err := h.step(dt, f.cfg.MeasureEvery); err != nil && errs[si] == nil {
+					errs[si] = fmt.Errorf("fleet: home %d: %w", h.ID, err)
+				}
+			}
+		})
+	}
+	wg.Wait()
+
+	if sim, ok := f.cfg.Clock.(*clock.Simulated); ok {
+		sim.Advance(time.Duration(dt * float64(time.Second)))
+	}
+	return errors.Join(errs...)
+}
+
+// Aggregate folds every home's hwdb into the fleet-wide stats view and
+// returns the delta snapshot (see aggregator for the fold semantics).
+func (f *Fleet) Aggregate() FleetSnapshot {
+	return f.agg.fold(f.Homes())
+}
+
+// DB returns the fleet-wide hwdb holding the FleetStats view; query it
+// with the same CQL the per-home interfaces use, e.g.
+//
+//	SELECT home, sum(bytes) FROM FleetStats GROUP BY home
+func (f *Fleet) DB() *hwdb.DB { return f.agg.DB() }
+
+// Totals returns the cumulative fleet-wide counters folded so far.
+func (f *Fleet) Totals() FleetTotals { return f.agg.totals() }
+
+// Stop tears every home down and releases the worker pool.
+func (f *Fleet) Stop() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	homes := f.orderedLocked()
+	f.homes = make(map[uint64]*Home)
+	f.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, h := range homes {
+		wg.Add(1)
+		go func(h *Home) {
+			defer wg.Done()
+			h.Router.Stop()
+		}(h)
+	}
+	wg.Wait()
+	f.pool.close()
+}
+
+// ---------------------------------------------------------------- homes
+
+// step advances one home by dt simulated seconds.
+func (h *Home) step(dt float64, measureEvery int) error {
+	h.mu.Lock()
+	h.steps++
+	poll := measureEvery > 0 && h.steps%uint64(measureEvery) == 0
+	h.mu.Unlock()
+
+	h.Router.Net.Step(dt)
+	if err := h.Router.Settle(); err != nil {
+		return err
+	}
+	if poll {
+		h.Router.PollMeasure()
+	}
+	return nil
+}
+
+// Steps returns how many fleet ticks have stepped this home.
+func (h *Home) Steps() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.steps
+}
+
+// Rand returns the home's deterministic randomness source (churn and
+// workload decisions draw from it so runs replay from the fleet seed).
+// Not safe for concurrent use across goroutines; the scenario runner
+// only touches it from the home's own shard.
+func (h *Home) Rand() *rand.Rand { return h.rng }
+
+// NextMAC allocates a fleet-unique MAC for the home's next host:
+// 02:HH:HH:HH:SS:SS from the home ID and a per-home sequence number.
+func (h *Home) NextMAC() packet.MAC {
+	h.mu.Lock()
+	h.hostSeq++
+	seq := h.hostSeq
+	h.mu.Unlock()
+	return packet.MAC{
+		0x02, byte(h.ID >> 16), byte(h.ID >> 8), byte(h.ID),
+		byte(seq >> 8), byte(seq),
+	}
+}
+
+// Join adds a host to the home's network and runs it through DHCP.
+func (h *Home) Join(name string, wireless bool, pos netsim.Pos) (*netsim.Host, error) {
+	mac := h.NextMAC()
+	if name == "" {
+		name = fmt.Sprintf("%s-dev-%s", h.Name, mac)
+	}
+	host, err := h.Router.Net.AddHost(name, mac, wireless, pos)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Router.JoinHost(host); err != nil {
+		return nil, err
+	}
+	if !host.Bound() {
+		return nil, fmt.Errorf("fleet: %s: host %s did not bind", h.Name, mac)
+	}
+	return host, nil
+}
+
+// Leave releases a host's lease and detaches it from the home network.
+func (h *Home) Leave(host *netsim.Host) error {
+	host.Release()
+	if err := h.Router.Settle(); err != nil {
+		return err
+	}
+	return h.Router.Net.RemoveHost(host.MAC)
+}

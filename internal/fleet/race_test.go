@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/netsim"
+)
+
+// TestFleetConcurrency32Homes drives a 32-home fleet across 8 shards
+// with live traffic while aggregation and home churn run concurrently
+// with stepping — the acceptance gate for `go test -race`: every home's
+// datapath, controller and hwdb plus the fleet aggregator working at
+// once.
+func TestFleetConcurrency32Homes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32-home bring-up in -short mode")
+	}
+	const homes, shards = 32, 8
+	f := New(Config{Shards: shards, Clock: clock.NewSimulated(), Seed: 3})
+	t.Cleanup(f.Stop)
+	if _, err := f.AddHomes(homes); err != nil {
+		t.Fatal(err)
+	}
+	// Every 4th home gets a real traffic source so folds have work.
+	for _, h := range f.Homes() {
+		if h.ID%4 != 0 {
+			continue
+		}
+		registerZones(h)
+		host, err := h.Join("", h.ID%8 == 0, netsim.Pos{X: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		host.AddApp(netsim.NewApp(netsim.AppWeb, zoneFor("web"), 60_000))
+	}
+
+	// Aggregate concurrently with stepping: the folds race the homes'
+	// measurement planes and the steps race each other across shards.
+	aggDone := make(chan struct{})
+	go func() {
+		defer close(aggDone)
+		for i := 0; i < 6; i++ {
+			f.Aggregate()
+		}
+	}()
+	for i := 0; i < 6; i++ {
+		if err := f.Step(0.25); err != nil {
+			t.Fatal(err)
+		}
+		// Churn a home mid-run: remove one, add one, while shards step.
+		if i == 2 {
+			if !f.RemoveHome(1) {
+				t.Fatal("remove failed")
+			}
+			if _, err := f.AddHome(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	<-aggDone
+
+	snap := f.Aggregate()
+	if snap.FleetTotals.Homes != homes {
+		t.Errorf("homes = %d, want %d", snap.FleetTotals.Homes, homes)
+	}
+	if f.Totals().Flows == 0 || f.Totals().Bytes == 0 {
+		t.Errorf("no traffic folded across the fleet: %+v", f.Totals())
+	}
+	if f.Steps() != 6 {
+		t.Errorf("steps = %d", f.Steps())
+	}
+}

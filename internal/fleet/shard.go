@@ -1,0 +1,76 @@
+package fleet
+
+import "sync"
+
+// shardOf assigns a home to a worker shard. ID modulo shard count keeps
+// the assignment stable under churn: removing a home never reassigns any
+// other home, and a re-added ID lands back on its old shard.
+func shardOf(id uint64, shards int) int {
+	return int(id % uint64(shards))
+}
+
+// pool is the fleet's worker pool: one long-lived goroutine per shard,
+// each consuming jobs from its own queue. A shard therefore executes its
+// jobs strictly in submission order, which (with homes submitted in
+// ascending ID order) gives deterministic per-home stepping without any
+// per-step goroutine churn.
+type pool struct {
+	queues []chan func()
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func newPool(shards int) *pool {
+	p := &pool{queues: make([]chan func(), shards)}
+	for i := range p.queues {
+		// Small buffer: Step submits one job per shard and waits, so the
+		// queue never grows; the buffer just decouples submit from the
+		// worker picking the job up.
+		q := make(chan func(), 4)
+		p.queues[i] = q
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range q {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues a job on one shard's queue. Jobs submitted to the same
+// shard run sequentially in submission order; different shards run
+// concurrently.
+func (p *pool) submit(shard int, job func()) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		// Run inline so callers waiting on the job's own barrier don't
+		// deadlock during shutdown races.
+		job()
+		return
+	}
+	// Enqueue under the lock so close() cannot close the channel between
+	// the check and the send. The send cannot block for long: workers
+	// never enqueue, they only drain.
+	p.queues[shard] <- job
+	p.mu.Unlock()
+}
+
+// close drains the workers. Concurrent submit after close runs inline.
+func (p *pool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for _, q := range p.queues {
+		close(q)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

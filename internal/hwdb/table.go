@@ -111,6 +111,36 @@ func (t *Table) Snapshot() []Row {
 	return out
 }
 
+// Tail returns, oldest-first, the rows inserted after the first `after`
+// inserts, plus the table's current total insert count. It is the batched
+// cursor read aggregators use: read Tail(cursor), process the rows, set
+// cursor to the returned count. Rows that wrapped out of the ring before
+// being read are lost (reported via lost); the next cursor still advances
+// past them. One lock acquisition per call, regardless of row count.
+func (t *Table) Tail(after uint64) (rows []Row, inserts uint64, lost uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	inserts = t.inserts
+	if after >= inserts {
+		return nil, inserts, 0
+	}
+	missed := inserts - after // rows inserted since the cursor
+	n := int(missed)
+	if uint64(n) != missed || n > t.count { // cursor fell off the ring
+		lost = missed - uint64(t.count)
+		n = t.count
+	}
+	out := make([]Row, 0, n)
+	start := t.head - n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out, inserts, lost
+}
+
 // window returns rows selected by a window specification, oldest-first.
 func (t *Table) window(w Window, now time.Time) []Row {
 	rows := t.Snapshot()

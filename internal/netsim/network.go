@@ -86,6 +86,24 @@ func (n *Network) AddHost(name string, mac packet.MAC, wireless bool, pos Pos) (
 	return h, nil
 }
 
+// RemoveHost detaches a host from its datapath port and forgets its link
+// state: the device left the home (fleet churn, or simply powered off).
+// The host object stays usable as a record but can no longer transmit.
+func (n *Network) RemoveHost(mac packet.MAC) error {
+	n.mu.Lock()
+	h, ok := n.hosts[mac]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("netsim: no host %s", mac)
+	}
+	delete(n.hosts, mac)
+	delete(n.byPort, h.port)
+	delete(n.links, mac)
+	n.mu.Unlock()
+	n.dp.RemovePort(h.port)
+	return nil
+}
+
 // Host returns a host by MAC.
 func (n *Network) Host(mac packet.MAC) (*Host, bool) {
 	n.mu.Lock()
