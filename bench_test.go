@@ -18,6 +18,7 @@ import (
 	"repro/internal/hwdb"
 	"repro/internal/netsim"
 	"repro/internal/nox"
+	"repro/internal/oftransport"
 	"repro/internal/openflow"
 	"repro/internal/packet"
 )
@@ -135,9 +136,18 @@ func BenchmarkE2HwdbQuery(b *testing.B) {
 // ------------------------------------------------- E3: control-path RTT
 
 // BenchmarkE3ControlPath measures the packet-in -> controller -> flow-mod
-// -> barrier round trip over loopback TCP: the reactive flow-setup cost
-// every new home flow pays.
+// -> barrier round trip — the reactive flow-setup cost every new home flow
+// pays — over both control transports: the loopback-TCP wire path and the
+// in-process channel path that skips serialization entirely.
 func BenchmarkE3ControlPath(b *testing.B) {
+	for _, kind := range []core.TransportKind{core.TransportTCP, core.TransportInProcess} {
+		b.Run(fmt.Sprintf("transport=%s", kind), func(b *testing.B) {
+			benchControlPath(b, kind)
+		})
+	}
+}
+
+func benchControlPath(b *testing.B, kind core.TransportKind) {
 	ctl := nox.NewController()
 	done := make(chan struct{}, 64)
 	ctl.OnPacketIn(func(ev *nox.PacketInEvent) nox.Disposition {
@@ -146,9 +156,6 @@ func BenchmarkE3ControlPath(b *testing.B) {
 		done <- struct{}{}
 		return nox.Stop
 	})
-	if err := ctl.ListenAndServe("127.0.0.1:0"); err != nil {
-		b.Fatal(err)
-	}
 	defer ctl.Close()
 	joined := make(chan *nox.Switch, 1)
 	ctl.OnJoin(func(ev *nox.JoinEvent) { joined <- ev.Switch })
@@ -156,7 +163,17 @@ func BenchmarkE3ControlPath(b *testing.B) {
 	dp := datapath.New(datapath.Config{ID: 1})
 	_ = dp.AddPort(&datapath.Port{No: 1})
 	_ = dp.AddPort(&datapath.Port{No: 2})
-	go func() { _ = dp.ConnectTCP(ctl.Addr()) }()
+	switch kind {
+	case core.TransportTCP:
+		if err := ctl.ListenAndServe("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		go func() { _ = dp.ConnectTCP(ctl.Addr()) }()
+	default:
+		ctlEnd, dpEnd := oftransport.Pair(0)
+		go func() { _ = ctl.ServeTransport(ctlEnd) }()
+		go func() { _ = dp.ConnectTransport(dpEnd) }()
+	}
 	defer dp.Stop()
 	sw := <-joined
 
@@ -485,17 +502,25 @@ func BenchmarkA3RingSizing(b *testing.B) {
 // BenchmarkFleetStep measures one fleet tick — every home's traffic
 // emitted, control plane settled, measurement polled — as the fleet
 // grows: the controller-scaling trajectory the ROADMAP tracks. Each home
-// runs two hosts with a web workload.
+// runs two hosts with a web workload. Both control transports are
+// reported so the in-process win over the loopback-TCP baseline lands in
+// the trajectory (the TCP framing cost is per home, so the gap widens
+// with fleet size).
 func BenchmarkFleetStep(b *testing.B) {
-	for _, homes := range []int{1, 8, 64} {
-		b.Run(fmt.Sprintf("homes-%d", homes), func(b *testing.B) {
-			benchFleetStep(b, homes)
-		})
+	for _, kind := range []core.TransportKind{core.TransportInProcess, core.TransportTCP} {
+		for _, homes := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("transport=%s/homes=%d", kind, homes), func(b *testing.B) {
+				benchFleetStep(b, homes, kind)
+			})
+		}
 	}
 }
 
-func benchFleetStep(b *testing.B, homes int) {
-	f := fleet.New(fleet.Config{Clock: clock.NewSimulated(), Seed: 5})
+func benchFleetStep(b *testing.B, homes int, kind core.TransportKind) {
+	f := fleet.New(fleet.Config{
+		Clock: clock.NewSimulated(), Seed: 5,
+		HomeConfig: func(id uint64, cfg *core.Config) { cfg.Transport = kind },
+	})
 	b.Cleanup(f.Stop)
 	if _, err := f.AddHomes(homes); err != nil {
 		b.Fatal(err)
@@ -507,8 +532,16 @@ func benchFleetStep(b *testing.B, homes int) {
 				b.Fatal(err)
 			}
 			// Literal target: the step cost under test is datapath +
-			// control + measurement, not name resolution.
-			host.AddApp(netsim.NewApp(netsim.AppWeb, "203.0.113.10", 40_000))
+			// control + measurement, not name resolution. Flow churn keeps
+			// the reactive control plane working every tick — each fresh
+			// connection punts, is policy-checked and installed — the way
+			// real browsing does, instead of one long-lived flow that goes
+			// quiet after warmup.
+			app := netsim.NewApp(netsim.AppWeb, "203.0.113.10", 40_000)
+			// Slower than the 0.25s step so each flow is matched (and
+			// measured) for a few ticks before the next one arrives.
+			app.SetFlowChurn(0.75)
+			host.AddApp(app)
 		}
 	}
 	// Warm to steady state: tick 0 resolves targets, tick 1 punts and

@@ -2,11 +2,14 @@
 // network attached: six devices with a realistic traffic mix, the hwdb
 // UDP RPC for measurement subscribers, and the REST control API.
 //
-//	hwrouterd [-api 127.0.0.1:8077] [-duration 30s] [-bw]
+//	hwrouterd [-api 127.0.0.1:8077] [-duration 30s] [-bw] [-transport tcp]
 //
 // With -bw it prints the per-device bandwidth view once a second (the
 // Figure-1 display); otherwise it logs the platform's endpoints and idles
-// until the duration elapses (0 = forever).
+// until the duration elapses (0 = forever). The control plane runs over
+// loopback TCP by default — hwrouterd is the cross-process deployment
+// shape — but -transport inprocess selects the fleet's zero-copy channel
+// transport instead.
 package main
 
 import (
@@ -25,10 +28,13 @@ func main() {
 	apiAddr := flag.String("api", "127.0.0.1:0", "control API listen address")
 	duration := flag.Duration("duration", 30*time.Second, "how long to run (0 = forever)")
 	showBW := flag.Bool("bw", false, "print the bandwidth view every second")
+	transport := flag.String("transport", string(core.TransportTCP),
+		"controller↔datapath transport: tcp or inprocess")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.AutoPermit = true
+	cfg.Transport = core.TransportKind(*transport)
 	rt, err := core.New(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -67,6 +73,7 @@ func main() {
 		log.Printf("joined %-14s %s -> %s", d.name, d.mac, h.IP())
 	}
 
+	log.Printf("control transport: %s", cfg.Transport)
 	log.Printf("control API: http://%s/api/status", rt.API.Addr())
 	log.Printf("hwdb RPC:    %s (try: hwdbc -addr %s 'SELECT * FROM Flows [ROWS 10]')",
 		rt.HwdbServer.Addr(), rt.HwdbServer.Addr())

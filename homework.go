@@ -50,6 +50,18 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // NewRouter assembles a platform; call Start on the result.
 func NewRouter(cfg Config) (*Router, error) { return core.New(cfg) }
 
+// TransportKind selects the controller↔datapath control-plane channel
+// (Config.Transport).
+type TransportKind = core.TransportKind
+
+// Control-plane transports: in-process channel passing (the default; no
+// serialization on the hot path) or the classic loopback-TCP secure
+// channel. See docs/ARCHITECTURE.md for the message flow under each.
+const (
+	TransportInProcess = core.TransportInProcess
+	TransportTCP       = core.TransportTCP
+)
+
 // Host is a simulated home device.
 type Host = netsim.Host
 

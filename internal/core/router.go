@@ -13,9 +13,25 @@ import (
 	"repro/internal/measure"
 	"repro/internal/netsim"
 	"repro/internal/nox"
+	"repro/internal/oftransport"
 	"repro/internal/openflow"
 	"repro/internal/packet"
 	"repro/internal/policy"
+)
+
+// TransportKind selects how the NOX controller and the datapath exchange
+// OpenFlow messages.
+type TransportKind string
+
+// Control-plane transports. In-process is the default: the paper's
+// controller and switch are co-resident on one home router, so decoded
+// messages cross on buffered channels with no serialize → TCP →
+// deserialize round trip. TCP keeps the byte-exact loopback wire path for
+// cross-process deployments (cmd/hwrouterd) and for benchmarking the
+// in-process win.
+const (
+	TransportInProcess TransportKind = "inprocess"
+	TransportTCP       TransportKind = "tcp"
 )
 
 // Config parameterizes the whole platform.
@@ -48,6 +64,9 @@ type Config struct {
 	// aggregate hwdb state centrally and would otherwise bind one socket
 	// per home.
 	DisableRPC bool
+	// Transport selects the controller↔datapath channel
+	// (TransportInProcess when empty).
+	Transport TransportKind
 }
 
 // DefaultConfig returns the configuration used by the examples and the
@@ -63,6 +82,7 @@ func DefaultConfig() Config {
 		AutoPermit: false,
 		RingSize:   hwdb.DefaultRingSize,
 		Seed:       1,
+		Transport:  TransportInProcess,
 	}
 }
 
@@ -116,6 +136,12 @@ func New(cfg Config) (*Router, error) {
 	}
 	if cfg.LeaseTime == 0 {
 		cfg.LeaseTime = time.Hour
+	}
+	if cfg.Transport == "" {
+		cfg.Transport = TransportInProcess
+	}
+	if cfg.Transport != TransportInProcess && cfg.Transport != TransportTCP {
+		return nil, fmt.Errorf("core: unknown transport %q", cfg.Transport)
 	}
 
 	r := &Router{Config: cfg, Clock: cfg.Clock}
@@ -191,10 +217,11 @@ func New(cfg Config) (*Router, error) {
 	return r, nil
 }
 
-// Start brings up the controller, connects the datapath over loopback TCP,
-// waits for the join, and starts the hwdb RPC server. The measurement
-// plane is left to the caller (PollMeasure or RunMeasure) so simulated-
-// clock runs stay deterministic.
+// Start brings up the controller, connects the datapath over the
+// configured transport (in-process channels by default, loopback TCP with
+// Config.Transport = TransportTCP), waits for the join, and starts the
+// hwdb RPC server. The measurement plane is left to the caller
+// (PollMeasure or RunMeasure) so simulated-clock runs stay deterministic.
 func (r *Router) Start() error {
 	joined := make(chan *nox.Switch, 1)
 	r.Controller.OnJoin(func(ev *nox.JoinEvent) {
@@ -203,10 +230,17 @@ func (r *Router) Start() error {
 		default:
 		}
 	})
-	if err := r.Controller.ListenAndServe("127.0.0.1:0"); err != nil {
-		return err
+	switch r.Config.Transport {
+	case TransportTCP:
+		if err := r.Controller.ListenAndServe("127.0.0.1:0"); err != nil {
+			return err
+		}
+		go func() { _ = r.Datapath.ConnectTCP(r.Controller.Addr()) }()
+	default: // TransportInProcess — validated in New.
+		ctlEnd, dpEnd := oftransport.Pair(0)
+		go func() { _ = r.Controller.ServeTransport(ctlEnd) }()
+		go func() { _ = r.Datapath.ConnectTransport(dpEnd) }()
 	}
-	go func() { _ = r.Datapath.ConnectTCP(r.Controller.Addr()) }()
 	select {
 	case sw := <-joined:
 		r.sw = sw

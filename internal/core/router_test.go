@@ -351,3 +351,46 @@ func TestPingRouter(t *testing.T) {
 		t.Fatal("no echo reply from router")
 	}
 }
+
+// TestTransportDefaultInProcess asserts the default control plane is the
+// in-process transport: no TCP listener is bound, and the platform still
+// comes up end to end.
+func TestTransportDefaultInProcess(t *testing.T) {
+	r := startRouter(t, nil)
+	if r.Config.Transport != TransportInProcess {
+		t.Fatalf("default transport = %q, want %q", r.Config.Transport, TransportInProcess)
+	}
+	if addr := r.Controller.Addr(); addr != "" {
+		t.Errorf("in-process transport bound a TCP listener at %s", addr)
+	}
+	if r.Switch() == nil {
+		t.Fatal("datapath did not join over the in-process transport")
+	}
+	h := join(t, r, "dev", "02:aa:00:00:00:21", false, netsim.Pos{})
+	if !h.Bound() {
+		t.Fatal("host did not bind over the in-process transport")
+	}
+}
+
+// TestTransportTCP keeps the loopback wire path working for cross-process
+// deployments (cmd/hwrouterd).
+func TestTransportTCP(t *testing.T) {
+	r := startRouter(t, func(c *Config) { c.Transport = TransportTCP })
+	if addr := r.Controller.Addr(); addr == "" {
+		t.Error("TransportTCP bound no listener")
+	}
+	h := join(t, r, "dev", "02:aa:00:00:00:22", false, netsim.Pos{})
+	if !h.Bound() {
+		t.Fatal("host did not bind over the TCP transport")
+	}
+}
+
+// TestTransportUnknownRejected asserts config validation catches typos
+// instead of silently falling back.
+func TestTransportUnknownRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Transport = "carrier-pigeon"
+	if _, err := New(cfg); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}

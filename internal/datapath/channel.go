@@ -2,57 +2,96 @@ package datapath
 
 import (
 	"errors"
-	"io"
+	"fmt"
 	"net"
 	"time"
 
+	"repro/internal/oftransport"
 	"repro/internal/openflow"
 )
 
+// ErrChannelClosed is returned by the Connect family when the secure
+// channel shuts down in an orderly way — Stop was called or the controller
+// closed its end. Callers distinguish it (via errors.Is) from a protocol
+// failure, which surfaces as a *ChannelError wrapping the underlying
+// cause.
+var ErrChannelClosed = errors.New("datapath: secure channel closed")
+
+// ChannelError is a secure-channel failure: dialing, the HELLO handshake,
+// or reading from the transport failed for a reason other than an orderly
+// shutdown. Op says which phase failed; Err is the underlying cause.
+type ChannelError struct {
+	Op  string // "dial", "handshake" or "read"
+	Err error
+}
+
+func (e *ChannelError) Error() string {
+	return fmt.Sprintf("datapath: secure channel %s: %v", e.Op, e.Err)
+}
+
+func (e *ChannelError) Unwrap() error { return e.Err }
+
+// channelErr classifies a transport error: orderly shutdown becomes
+// ErrChannelClosed, anything else a *ChannelError for op.
+func channelErr(op string, err error) error {
+	if errors.Is(err, oftransport.ErrClosed) {
+		return ErrChannelClosed
+	}
+	return &ChannelError{Op: op, Err: err}
+}
+
 // Connect attaches the datapath to a controller over conn (typically a TCP
 // connection or a net.Pipe end) and services the secure channel until the
-// connection closes or Stop is called. It performs the OpenFlow handshake
-// (HELLO exchange) and then answers controller requests.
+// connection closes or Stop is called. See ConnectTransport for the
+// return-value contract.
 func (dp *Datapath) Connect(conn net.Conn) error {
+	return dp.ConnectTransport(oftransport.NewTCP(conn))
+}
+
+// ConnectTransport attaches the datapath to a controller over one
+// transport endpoint and services the secure channel until it closes or
+// Stop is called. It performs the OpenFlow handshake (HELLO exchange) and
+// then answers controller requests. It returns ErrChannelClosed on an
+// orderly shutdown and a *ChannelError on a handshake or protocol
+// failure.
+func (dp *Datapath) ConnectTransport(tr oftransport.Transport) error {
 	dp.connMu.Lock()
-	dp.conn = conn
+	dp.tr = tr
 	dp.connMu.Unlock()
 
-	if err := openflow.WriteMessage(conn, &openflow.Hello{}); err != nil {
-		return err
+	if err := tr.Send(&openflow.Hello{}); err != nil {
+		return channelErr("handshake", err)
 	}
-	msg, err := openflow.ReadMessage(conn)
+	msg, err := tr.Recv()
 	if err != nil {
-		return err
+		return channelErr("handshake", err)
 	}
 	if _, ok := msg.(*openflow.Hello); !ok {
-		return errors.New("datapath: handshake: expected HELLO")
+		return &ChannelError{Op: "handshake", Err: fmt.Errorf("expected HELLO, got %T", msg)}
 	}
 
 	go dp.expiryLoop()
 
 	for {
-		msg, err := openflow.ReadMessage(conn)
+		msg, err := tr.Recv()
 		if err != nil {
 			dp.connMu.Lock()
-			dp.conn = nil
+			dp.tr = nil
 			dp.connMu.Unlock()
-			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return err
+			return channelErr("read", err)
 		}
 		dp.handle(msg)
 	}
 }
 
-// ConnectTCP dials the controller and runs Connect.
+// ConnectTCP dials the controller and runs the secure channel over the
+// wire transport.
 func (dp *Datapath) ConnectTCP(addr string) error {
-	conn, err := net.Dial("tcp", addr)
+	tr, err := oftransport.DialTCP(addr)
 	if err != nil {
-		return err
+		return &ChannelError{Op: "dial", Err: err}
 	}
-	return dp.Connect(conn)
+	return dp.ConnectTransport(tr)
 }
 
 // Stop closes the secure channel and halts the expiry loop.
@@ -65,9 +104,9 @@ func (dp *Datapath) Stop() {
 	}
 	dp.stopMu.Unlock()
 	dp.connMu.Lock()
-	if dp.conn != nil {
-		_ = dp.conn.Close()
-		dp.conn = nil
+	if dp.tr != nil {
+		_ = dp.tr.Close()
+		dp.tr = nil
 	}
 	dp.connMu.Unlock()
 }

@@ -1,11 +1,13 @@
 package datapath
 
 import (
+	"errors"
 	"net"
 	"testing"
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/oftransport"
 	"repro/internal/openflow"
 	"repro/internal/packet"
 )
@@ -180,5 +182,75 @@ func TestChannelPacketOutViaTable(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("packet-out via TABLE not delivered")
+	}
+}
+
+// TestChannelClosedIsTyped asserts an orderly shutdown (Stop, or the
+// controller closing its end) surfaces as ErrChannelClosed, not a raw net
+// error.
+func TestChannelClosedIsTyped(t *testing.T) {
+	ctlEnd, dpEnd := oftransport.Pair(0)
+	dp := New(Config{ID: 9})
+	errc := make(chan error, 1)
+	go func() { errc <- dp.ConnectTransport(dpEnd) }()
+
+	msg, err := ctlEnd.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(*openflow.Hello); !ok {
+		t.Fatalf("expected HELLO, got %T", msg)
+	}
+	if err := ctlEnd.Send(&openflow.Hello{}); err != nil {
+		t.Fatal(err)
+	}
+
+	dp.Stop()
+	if err := <-errc; !errors.Is(err, ErrChannelClosed) {
+		t.Fatalf("Connect after Stop = %v, want ErrChannelClosed", err)
+	}
+}
+
+// TestChannelHandshakeErrorIsTyped asserts a protocol violation surfaces
+// as a *ChannelError naming the failed phase, distinguishable from the
+// shutdown case.
+func TestChannelHandshakeErrorIsTyped(t *testing.T) {
+	ctlEnd, dpEnd := oftransport.Pair(0)
+	dp := New(Config{ID: 9})
+	t.Cleanup(dp.Stop)
+	errc := make(chan error, 1)
+	go func() { errc <- dp.ConnectTransport(dpEnd) }()
+
+	if _, err := ctlEnd.Recv(); err != nil { // the datapath's HELLO
+		t.Fatal(err)
+	}
+	// An echo request where HELLO belongs: protocol violation.
+	if err := ctlEnd.Send(&openflow.EchoRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	err := <-errc
+	var ce *ChannelError
+	if !errors.As(err, &ce) || ce.Op != "handshake" {
+		t.Fatalf("handshake violation = %v, want *ChannelError{Op: handshake}", err)
+	}
+	if errors.Is(err, ErrChannelClosed) {
+		t.Error("protocol failure must not read as an orderly close")
+	}
+}
+
+// TestChannelDialErrorIsTyped asserts a failed dial is a *ChannelError
+// with Op "dial".
+func TestChannelDialErrorIsTyped(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close() // the port is now dead
+
+	dp := New(Config{ID: 9})
+	var ce *ChannelError
+	if err := dp.ConnectTCP(addr); !errors.As(err, &ce) || ce.Op != "dial" {
+		t.Fatalf("dial to dead port = %v, want *ChannelError{Op: dial}", err)
 	}
 }

@@ -2,12 +2,12 @@ package datapath
 
 import (
 	"fmt"
-	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/oftransport"
 	"repro/internal/openflow"
 	"repro/internal/packet"
 )
@@ -88,7 +88,7 @@ type Datapath struct {
 	table *FlowTable
 
 	connMu sync.Mutex
-	conn   net.Conn
+	tr     oftransport.Transport
 
 	bufMu    sync.Mutex
 	buffers  map[uint32][]byte
@@ -323,14 +323,16 @@ func (dp *Datapath) takeBuffer(id uint32) ([]byte, uint16, bool) {
 	return f, inPort, true
 }
 
-// send writes a message up the secure channel if connected.
+// send writes a message up the secure channel if connected. The transport
+// serializes concurrent sends itself, so the channel lock only guards the
+// endpoint pointer, not the (possibly blocking) delivery.
 func (dp *Datapath) send(msg openflow.Message) {
 	dp.connMu.Lock()
-	conn := dp.conn
-	if conn != nil {
-		_ = openflow.WriteMessage(conn, msg)
-	}
+	tr := dp.tr
 	dp.connMu.Unlock()
+	if tr != nil {
+		_ = tr.Send(msg)
+	}
 }
 
 func (dp *Datapath) notifyPortStatus(reason uint8, p *Port) {

@@ -1,7 +1,11 @@
 // Package datapath implements a software OpenFlow 1.0 switch: the Open
 // vSwitch stand-in at the heart of the Homework router. A Datapath owns a
 // set of ports, a flow table with priority and wildcard matching, and a
-// secure channel to a controller speaking the openflow package's codec.
+// secure channel to a controller over any oftransport.Transport — the
+// classic TCP wire path (Connect/ConnectTCP) or an in-process endpoint
+// (ConnectTransport with one end of oftransport.Pair) when controller and
+// switch share a process. Orderly channel shutdown surfaces as
+// ErrChannelClosed; protocol failures as *ChannelError.
 package datapath
 
 import (

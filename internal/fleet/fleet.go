@@ -6,7 +6,10 @@
 // worker pool with deterministic per-home ordering, folds every home's
 // hwdb link/flow tables into a fleet-wide FleetStats view, and runs
 // declarative scenarios (home count, hosts per home, app mix, churn) so
-// diverse workloads are one config away.
+// diverse workloads are one config away. Fleet homes default to the
+// in-process control transport (core.TransportInProcess): with controller
+// and datapath co-resident there is no reason to pay loopback-TCP framing
+// per home, and no per-home socket pair to exhaust descriptors at scale.
 package fleet
 
 import (

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/clock"
+	"repro/internal/core"
 	"repro/internal/hwdb"
 	"repro/internal/netsim"
 )
@@ -74,7 +75,7 @@ func newTestFleet(t testing.TB, homes, shards int, mutate func(*Config)) *Fleet 
 
 // stepTrace records scheduler activity per shard.
 type stepTrace struct {
-	mu     sync.Mutex
+	mu      sync.Mutex
 	byShard map[int][]uint64 // home IDs in observed step order
 }
 
@@ -363,5 +364,36 @@ func TestDrawMix(t *testing.T) {
 	}
 	if _, ok := drawMix([]AppMix{{App: "web", Weight: 0}}, 0.5); ok {
 		t.Error("zero-weight mix drew")
+	}
+}
+
+// TestFleetDefaultsInProcessTransport asserts fleet homes ride the
+// in-process control transport by default — no per-home TCP socket —
+// while HomeConfig can still opt a home back onto the wire.
+func TestFleetDefaultsInProcessTransport(t *testing.T) {
+	f := New(Config{Clock: clock.NewSimulated()})
+	defer f.Stop()
+	h, err := f.AddHome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Router.Config.Transport; got != core.TransportInProcess {
+		t.Fatalf("fleet home transport = %q, want %q", got, core.TransportInProcess)
+	}
+	if addr := h.Router.Controller.Addr(); addr != "" {
+		t.Errorf("fleet home bound a TCP control listener at %s", addr)
+	}
+
+	f2 := New(Config{
+		Clock:      clock.NewSimulated(),
+		HomeConfig: func(id uint64, cfg *core.Config) { cfg.Transport = core.TransportTCP },
+	})
+	defer f2.Stop()
+	h2, err := f2.AddHome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr := h2.Router.Controller.Addr(); addr == "" {
+		t.Error("HomeConfig TCP override did not bind a listener")
 	}
 }

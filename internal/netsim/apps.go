@@ -61,6 +61,9 @@ type App struct {
 	carry    float64 // fractional packet accumulation
 	sent     uint64  // payload bytes sent
 	flows    int     // parallel flows for p2p
+
+	churnEvery float64 // seconds between fresh connections (0 = one flow)
+	churnCarry float64
 }
 
 // NewApp builds an application with profile defaults.
@@ -82,6 +85,17 @@ func NewApp(kind AppKind, target string, rateBps int) *App {
 		a.PacketSize = 48
 	}
 	return a
+}
+
+// SetFlowChurn makes the app open a fresh connection (a new source port,
+// hence a new five-tuple) every sec simulated seconds instead of holding
+// one long-lived flow. Under the paper's reactive design every new flow's
+// first packet punts to the controller, so churn keeps the control plane
+// exercised the way real browsing does. Zero disables churn.
+func (a *App) SetFlowChurn(sec float64) {
+	a.mu.Lock()
+	a.churnEvery = sec
+	a.mu.Unlock()
 }
 
 // DstPort returns the destination port of the profile.
@@ -134,6 +148,22 @@ func (a *App) Step(dt float64) {
 		a.mu.Unlock()
 		a.resolve()
 		return
+	}
+	if a.churnEvery > 0 {
+		a.churnCarry += dt
+		if a.churnCarry >= a.churnEvery {
+			a.churnCarry -= a.churnEvery
+			// A fresh connection: new source port, new five-tuple. The
+			// first packet of the new flow misses in the datapath and
+			// punts, exactly like a real page load's next connection; the
+			// old flow idles out of the table.
+			a.srcPort++
+			if a.srcPort < 32768 {
+				a.srcPort = 32768
+			}
+			a.synSent = false
+			a.seq = 0
+		}
 	}
 	dst := a.dst
 	budget := a.carry + float64(a.RateBps)*dt

@@ -3,6 +3,13 @@
 // (the DHCP server, DNS proxy and control API in this repository) register
 // handlers for datapath events; handlers run in registration order and may
 // consume an event to stop the chain, exactly as NOX components do.
+//
+// The controller is transport-agnostic: a datapath attaches over any
+// oftransport.Transport. ListenAndServe/HandleConn keep the classic TCP
+// secure channel for cross-process deployments, while ServeTransport
+// accepts an in-process endpoint (oftransport.Pair) when controller and
+// datapath share a process, as they do on the paper's home router and in
+// every fleet home.
 package nox
 
 import (
@@ -13,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/oftransport"
 	"repro/internal/openflow"
 	"repro/internal/packet"
 )
@@ -76,6 +84,7 @@ type Controller struct {
 	flowRem    []func(*FlowRemovedEvent)
 	portStatus []func(*PortStatusEvent)
 	switches   map[uint64]*Switch
+	serving    map[oftransport.Transport]struct{}
 
 	ln        net.Listener
 	wg        sync.WaitGroup
@@ -97,6 +106,7 @@ func (c *Controller) Processed() uint64 { return c.processed.Load() }
 func NewController() *Controller {
 	return &Controller{
 		switches:    make(map[uint64]*Switch),
+		serving:     make(map[oftransport.Transport]struct{}),
 		MissSendLen: 128,
 		echoEvery:   15 * time.Second,
 	}
@@ -197,23 +207,25 @@ func (c *Controller) Addr() string {
 	return c.ln.Addr().String()
 }
 
-// Close stops the listener and disconnects all datapaths.
+// Close stops the listener, disconnects all datapaths (including any
+// still in handshake) and waits until every connection handler has
+// finished dispatching.
 func (c *Controller) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
 	c.mu.Lock()
 	ln := c.ln
-	sws := make([]*Switch, 0, len(c.switches))
-	for _, sw := range c.switches {
-		sws = append(sws, sw)
+	trs := make([]oftransport.Transport, 0, len(c.serving))
+	for tr := range c.serving {
+		trs = append(trs, tr)
 	}
 	c.mu.Unlock()
 	if ln != nil {
 		_ = ln.Close()
 	}
-	for _, sw := range sws {
-		sw.close()
+	for _, tr := range trs {
+		_ = tr.Close()
 	}
 	c.wg.Wait()
 	return nil
@@ -239,37 +251,66 @@ func (c *Controller) Switches() []*Switch {
 }
 
 // HandleConn performs the controller side of the OpenFlow handshake on conn
-// and services the connection until it closes. Exposed so in-process
-// datapaths can attach over net.Pipe.
+// and services the connection until it closes. Exposed so cross-process
+// datapaths (and tests over net.Pipe) can attach a raw stream.
 func (c *Controller) HandleConn(conn net.Conn) error {
-	sw := &Switch{conn: conn, ctl: c, pending: make(map[uint32]chan openflow.Message)}
+	return c.ServeTransport(oftransport.NewTCP(conn))
+}
 
-	if err := openflow.WriteMessage(conn, &openflow.Hello{}); err != nil {
-		conn.Close()
+// ServeTransport performs the controller side of the OpenFlow handshake on
+// one transport endpoint and services it until it closes. It is the
+// transport-agnostic core of HandleConn; pass it one end of an
+// oftransport.Pair to attach an in-process datapath with no framing cost.
+// Close waits for every ServeTransport (however it was started) to finish
+// dispatching, exactly as it does for accepted TCP connections.
+func (c *Controller) ServeTransport(tr oftransport.Transport) error {
+	// Registration, the closed check and wg.Add share the mutex so a
+	// concurrent Close either sees tr in the registry (and closes it) or
+	// happened first (and this serve refuses to start).
+	c.mu.Lock()
+	if c.closed.Load() {
+		c.mu.Unlock()
+		_ = tr.Close()
+		return errors.New("nox: controller closed")
+	}
+	c.serving[tr] = struct{}{}
+	c.wg.Add(1)
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.serving, tr)
+		c.mu.Unlock()
+		c.wg.Done()
+	}()
+
+	sw := &Switch{tr: tr, ctl: c, pending: make(map[uint32]chan openflow.Message)}
+
+	if err := tr.Send(&openflow.Hello{}); err != nil {
+		tr.Close()
 		return err
 	}
-	msg, err := openflow.ReadMessage(conn)
+	msg, err := tr.Recv()
 	if err != nil {
-		conn.Close()
+		tr.Close()
 		return err
 	}
 	if _, ok := msg.(*openflow.Hello); !ok {
-		conn.Close()
+		tr.Close()
 		return errors.New("nox: handshake: expected HELLO")
 	}
 
 	// Features exchange. The read loop is not running yet, so read inline.
 	freq := &openflow.FeaturesRequest{}
 	freq.Header.XID = sw.nextXID()
-	if err := openflow.WriteMessage(conn, freq); err != nil {
-		conn.Close()
+	if err := tr.Send(freq); err != nil {
+		tr.Close()
 		return err
 	}
 	var features *openflow.FeaturesReply
 	for features == nil {
-		msg, err := openflow.ReadMessage(conn)
+		msg, err := tr.Recv()
 		if err != nil {
-			conn.Close()
+			tr.Close()
 			return err
 		}
 		if fr, ok := msg.(*openflow.FeaturesReply); ok {
@@ -281,8 +322,8 @@ func (c *Controller) HandleConn(conn net.Conn) error {
 
 	cfg := &openflow.SetConfig{Flags: openflow.ConfigFragNormal, MissSendLen: c.MissSendLen}
 	cfg.Header.XID = sw.nextXID()
-	if err := openflow.WriteMessage(conn, cfg); err != nil {
-		conn.Close()
+	if err := tr.Send(cfg); err != nil {
+		tr.Close()
 		return err
 	}
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/datapath"
+	"repro/internal/oftransport"
 	"repro/internal/openflow"
 	"repro/internal/packet"
 )
@@ -377,4 +378,145 @@ func (l *l2Switch) Configure(ctl *Controller) error {
 		return Stop
 	})
 	return nil
+}
+
+// newInprocRig mirrors newRig with the controller and datapath joined over
+// an in-process transport pair instead of loopback TCP.
+func newInprocRig(t *testing.T, ctl *Controller) *testRig {
+	t.Helper()
+	t.Cleanup(func() { ctl.Close() })
+	joined := make(chan *Switch, 1)
+	ctl.OnJoin(func(ev *JoinEvent) {
+		select {
+		case joined <- ev.Switch:
+		default:
+		}
+	})
+
+	dp := datapath.New(datapath.Config{ID: 0xdead0002})
+	_ = dp.AddPort(&datapath.Port{No: 1, Name: "wlan0"})
+	_ = dp.AddPort(&datapath.Port{No: 2, Name: "eth0"})
+	ctlEnd, dpEnd := oftransport.Pair(0)
+	go func() { _ = ctl.ServeTransport(ctlEnd) }()
+	go func() { _ = dp.ConnectTransport(dpEnd) }()
+	t.Cleanup(dp.Stop)
+
+	select {
+	case sw := <-joined:
+		return &testRig{ctl: ctl, dp: dp, sw: sw}
+	case <-time.After(5 * time.Second):
+		t.Fatal("datapath did not join in process")
+		return nil
+	}
+}
+
+// TestInProcessTransportRig runs the handshake, liveness, reactive-install
+// and buffered-release paths over the in-process transport: the same
+// controller semantics as TCP, minus the framing.
+func TestInProcessTransportRig(t *testing.T) {
+	ctl := NewController()
+	gotPI := make(chan *PacketInEvent, 1)
+	ctl.OnPacketIn(func(ev *PacketInEvent) Disposition {
+		select {
+		case gotPI <- ev:
+		default:
+		}
+		return Stop
+	})
+	rig := newInprocRig(t, ctl)
+
+	if rig.sw.DPID() != 0xdead0002 {
+		t.Errorf("dpid = %x", rig.sw.DPID())
+	}
+	if len(rig.sw.Features().Ports) != 2 {
+		t.Errorf("ports = %d", len(rig.sw.Features().Ports))
+	}
+	if err := rig.sw.Echo([]byte("liveness")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.sw.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	frame := packet.NewTCPFrame(
+		packet.MAC{2, 0, 0, 0, 0, 1}, packet.MAC{2, 0, 0, 0, 0, 2},
+		packet.IP4{10, 0, 0, 1}, packet.IP4{10, 0, 0, 2},
+		40000, 80, packet.TCPSyn, 1, nil).Bytes()
+	rig.dp.Receive(1, frame)
+
+	var ev *PacketInEvent
+	select {
+	case ev = <-gotPI:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no packet-in")
+	}
+	if !ev.Decoded.HasTCP || ev.Decoded.TCP.DstPort != 80 {
+		t.Errorf("decoded = %+v", ev.Decoded)
+	}
+	m := openflow.MatchFromFrame(ev.Decoded, ev.Msg.InPort)
+	if err := ev.Switch.InstallFlow(m, 10, 30, 0,
+		[]openflow.Action{&openflow.ActionOutput{Port: 2}},
+		WithBuffer(ev.Msg.BufferID)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Switch.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if rig.dp.Table().Len() != 1 {
+		t.Fatalf("table len = %d", rig.dp.Table().Len())
+	}
+	p2, _ := rig.dp.Port(2)
+	if p2.Stats().TxPackets != 1 {
+		t.Errorf("buffered packet not released: tx = %d", p2.Stats().TxPackets)
+	}
+	stats, err := rig.sw.FlowStats(openflow.MatchAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// TestCloseWaitsForDispatch asserts Controller.Close does not return while
+// an event handler is still running against a transport-attached datapath
+// — fleet teardown relies on this to stop writing a removed home's hwdb.
+func TestCloseWaitsForDispatch(t *testing.T) {
+	ctl := NewController()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	ctl.OnPacketIn(func(ev *PacketInEvent) Disposition {
+		close(entered)
+		<-release
+		return Stop
+	})
+	rig := newInprocRig(t, ctl)
+
+	frame := packet.NewUDPFrame(packet.MAC{1}, packet.MAC{2},
+		packet.IP4{10, 0, 0, 1}, packet.IP4{10, 0, 0, 2}, 1, 2, nil).Bytes()
+	rig.dp.Receive(1, frame)
+	<-entered
+
+	closed := make(chan struct{})
+	go func() { _ = ctl.Close(); close(closed) }()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a handler was still dispatching")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned after the handler finished")
+	}
+
+	// A transport offered after Close must be refused and torn down.
+	ctlEnd, dpEnd := oftransport.Pair(0)
+	if err := ctl.ServeTransport(ctlEnd); err == nil {
+		t.Fatal("ServeTransport accepted a transport after Close")
+	}
+	if err := dpEnd.Send(&openflow.Hello{}); err == nil {
+		t.Fatal("refused transport was left open")
+	}
 }

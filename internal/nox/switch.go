@@ -2,24 +2,24 @@ package nox
 
 import (
 	"errors"
-	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/oftransport"
 	"repro/internal/openflow"
 	"repro/internal/packet"
 )
 
-// Switch is the controller's handle on one connected datapath.
+// Switch is the controller's handle on one connected datapath, reached
+// through whichever oftransport.Transport the datapath attached with.
 type Switch struct {
 	ctl      *Controller
-	conn     net.Conn
+	tr       oftransport.Transport
 	dpid     uint64
 	features *openflow.FeaturesReply
 
-	writeMu sync.Mutex
-	xid     atomic.Uint32
+	xid atomic.Uint32
 
 	pendingMu sync.Mutex
 	pending   map[uint32]chan openflow.Message
@@ -35,24 +35,23 @@ func (sw *Switch) Features() *openflow.FeaturesReply { return sw.features }
 
 func (sw *Switch) nextXID() uint32 { return sw.xid.Add(1) }
 
-func (sw *Switch) close() { sw.closeOnce.Do(func() { _ = sw.conn.Close() }) }
+func (sw *Switch) close() { sw.closeOnce.Do(func() { _ = sw.tr.Close() }) }
 
-// Send writes one message to the datapath.
+// Send writes one message to the datapath. Transports serialize
+// concurrent sends internally.
 func (sw *Switch) Send(msg openflow.Message) error {
-	sw.writeMu.Lock()
-	defer sw.writeMu.Unlock()
-	return openflow.WriteMessage(sw.conn, msg)
+	return sw.tr.Send(msg)
 }
 
 // readLoop services switch-to-controller messages, routing replies to
 // pending synchronous requests and everything else to event handlers.
 func (sw *Switch) readLoop() error {
 	for {
-		msg, err := openflow.ReadMessage(sw.conn)
+		msg, err := sw.tr.Recv()
 		if err != nil {
 			sw.close()
 			sw.failPending(err)
-			if errors.Is(err, net.ErrClosed) {
+			if errors.Is(err, oftransport.ErrClosed) {
 				return nil
 			}
 			return err

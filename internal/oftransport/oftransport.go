@@ -1,0 +1,66 @@
+// Package oftransport makes the OpenFlow control channel a pluggable
+// abstraction boundary rather than a mandatory wire protocol. The paper's
+// deployment co-locates the NOX controller and the switch datapath on one
+// home router, so nothing forces every control message through
+// serialize → TCP → deserialize; this package lets the two ends exchange
+// already-decoded messages directly when they share a process, while
+// keeping the byte-exact TCP path for cross-process deployments.
+//
+// # The Transport contract
+//
+// A Transport is one endpoint of a bidirectional, message-oriented control
+// channel. Implementations must provide:
+//
+//   - Ordering: messages arrive at the peer's Recv in the order they were
+//     passed to Send from any single goroutine. There is no ordering
+//     guarantee between concurrent senders beyond "each Send is atomic":
+//     messages are never interleaved, duplicated or torn.
+//   - Concurrency: Send is safe for concurrent use by multiple goroutines.
+//     Recv must be called from a single goroutine at a time (both the NOX
+//     switch handle and the datapath secure channel run one read loop).
+//   - Backpressure: Send may block while the peer's receive path is
+//     congested (the TCP transport blocks on a full socket buffer; the
+//     in-process transport's queue is unbounded and never blocks — see
+//     Pair for why bounded queues would deadlock co-resident control
+//     loops). Send never drops messages while the transport is open.
+//   - Close semantics: Close is idempotent and aborts both directions for
+//     both endpoints. After Close, Send returns ErrClosed. Recv drains
+//     messages that were already queued locally, then returns ErrClosed.
+//     Messages buffered but not yet delivered to the closing end's peer
+//     may be lost, exactly as with an aborted TCP connection.
+//   - Message ownership: Send transfers ownership of the message to the
+//     receiver. The in-process transport passes the same pointer the
+//     sender built (that is the whole point — no copy, no re-encode), so
+//     a sender must not mutate a message after Send returns. The TCP
+//     transport copies by serializing, but callers must honour the
+//     stricter in-process rule so the two transports stay interchangeable.
+//
+// Use Pair for an in-process channel, NewTCP/DialTCP for the wire path.
+package oftransport
+
+import (
+	"errors"
+
+	"repro/internal/openflow"
+)
+
+// ErrClosed is returned by Send and Recv once a transport endpoint has
+// been closed, locally or by its peer. Callers use it (via errors.Is) to
+// tell an orderly channel shutdown from a protocol failure.
+var ErrClosed = errors.New("oftransport: transport closed")
+
+// Transport is one endpoint of an OpenFlow control channel. See the
+// package comment for the full contract (ordering, backpressure, Close
+// semantics and message ownership).
+type Transport interface {
+	// Send delivers one message toward the peer, blocking for
+	// backpressure. It returns ErrClosed once the transport is closed.
+	Send(msg openflow.Message) error
+	// Recv blocks for the next message from the peer. It returns
+	// ErrClosed after Close (draining already-queued messages first) and
+	// a decode error if the peer violated the protocol.
+	Recv() (openflow.Message, error)
+	// Close aborts both directions of the channel for both endpoints.
+	// It is idempotent.
+	Close() error
+}

@@ -1,0 +1,83 @@
+package oftransport
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"repro/internal/openflow"
+)
+
+// TestTCPRecvDistinguishesAbort asserts a peer that dies abortively (RST)
+// surfaces as a raw error, not ErrClosed: the read-side contract that lets
+// datapath callers tell a crash from an orderly shutdown.
+func TestTCPRecvDistinguishesAbort(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewTCP(<-accepted)
+	defer server.Close()
+
+	// SO_LINGER 0 makes Close send RST instead of FIN: a simulated crash.
+	if err := client.(*net.TCPConn).SetLinger(0); err != nil {
+		t.Fatal(err)
+	}
+	_ = client.Close()
+
+	if _, err := server.Recv(); err == nil || errors.Is(err, ErrClosed) {
+		t.Fatalf("Recv after peer RST = %v, want a non-ErrClosed error", err)
+	}
+}
+
+// TestTCPRecvCleanCloseIsErrClosed asserts an orderly FIN reads as
+// ErrClosed.
+func TestTCPRecvCleanCloseIsErrClosed(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewTCP(<-accepted)
+	defer server.Close()
+
+	clientT := NewTCP(client)
+	if err := clientT.Send(&openflow.Hello{}); err != nil {
+		t.Fatal(err)
+	}
+	_ = clientT.Close()
+
+	if msg, err := server.Recv(); err != nil {
+		t.Fatalf("Recv before FIN = %v", err)
+	} else if _, ok := msg.(*openflow.Hello); !ok {
+		t.Fatalf("Recv = %T", msg)
+	}
+	if _, err := server.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Recv after FIN = %v, want ErrClosed", err)
+	}
+}

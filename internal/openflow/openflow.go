@@ -6,7 +6,10 @@
 // 1.0 message set (hello, echo, error, features, config, packet-in/out,
 // flow-mod, flow-removed, port-status, stats, barrier and vendor messages)
 // plus the ofp_match structure and the full basic action set. Messages are
-// framed over any io.Reader/io.Writer, normally a TCP connection.
+// framed over any io.Reader/io.Writer, normally a TCP connection — though
+// the wire codec is optional: co-resident endpoints can exchange the
+// decoded Message values directly through oftransport's in-process
+// transport and skip serialization entirely.
 package openflow
 
 import (
