@@ -551,6 +551,7 @@ func benchFleetStep(b *testing.B, homes int, kind core.TransportKind) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := f.Step(0.25); err != nil {
@@ -597,6 +598,78 @@ func BenchmarkFleetAggregate(b *testing.B) {
 		b.StartTimer()
 		f.Aggregate()
 	}
+}
+
+// ------------------------------------------------- D: data-plane hot path
+
+// BenchmarkFrameBuild pins the cost (and allocs/op) of serializing one
+// Ethernet/IPv4/TCP frame: the single-pass append path into a reused
+// buffer against the layered New*Frame(...).Bytes() path it replaced on
+// the hot paths.
+func BenchmarkFrameBuild(b *testing.B) {
+	srcMAC, dstMAC := packet.MAC{2, 0, 0, 0, 0, 1}, packet.MAC{2, 0, 0, 0, 0, 2}
+	srcIP, dstIP := packet.IP4{192, 168, 1, 10}, packet.IP4{93, 184, 216, 34}
+	payload := make([]byte, 1200)
+	b.Run("append", func(b *testing.B) {
+		var buf []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = packet.AppendTCPFrame(buf[:0], srcMAC, dstMAC, srcIP, dstIP,
+				40000, 80, packet.TCPAck, uint32(i), 0, payload)
+		}
+		b.SetBytes(int64(len(buf)))
+	})
+	b.Run("alloc", func(b *testing.B) {
+		var frame []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			frame = packet.NewTCPFrame(srcMAC, dstMAC, srcIP, dstIP,
+				40000, 80, packet.TCPAck, uint32(i), payload).Bytes()
+		}
+		b.SetBytes(int64(len(frame)))
+	})
+}
+
+// BenchmarkTableLookup pins the cost (and allocs/op) of an exact-match
+// flow-table lookup against a 1k-entry table, serial and with every
+// logical CPU looking up concurrently — the read-lock path that lets
+// ports proceed in parallel.
+func BenchmarkTableLookup(b *testing.B) {
+	tbl := datapath.NewFlowTable()
+	var probe packet.Decoded
+	var frameLen int
+	for i := 0; i < 1024; i++ {
+		f := packet.NewTCPFrame(
+			packet.MAC{2, 0, 0, byte(i >> 8), byte(i), 1}, packet.MAC{3},
+			packet.IP4{10, 0, byte(i >> 8), byte(i)}, packet.IP4{10, 1, 0, 1},
+			uint16(1024+i), 80, packet.TCPAck, 0, nil).Bytes()
+		var d packet.Decoded
+		if err := d.Decode(f); err != nil {
+			b.Fatal(err)
+		}
+		_ = tbl.Add(&datapath.FlowEntry{Match: openflow.MatchFromFrame(&d, 1), Priority: 10}, false)
+		probe, frameLen = d, len(f)
+	}
+	now := time.Now()
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if tbl.Lookup(&probe, 1, frameLen, now) == nil {
+				b.Fatal("probe missed")
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			d := probe
+			for pb.Next() {
+				if tbl.Lookup(&d, 1, frameLen, now) == nil {
+					b.Fatal("probe missed")
+				}
+			}
+		})
+	})
 }
 
 // ------------------------------------------------------------- helpers

@@ -49,6 +49,10 @@ type Forwarder struct {
 	installed map[installedKey]struct{}
 	denials   uint64
 	admitted  uint64
+	// upstreamActs is the rewrite+output action list toward the uplink,
+	// built once and shared read-only by every upstream-bound flow entry
+	// instead of allocated per admitted flow.
+	upstreamActs []openflow.Action
 }
 
 type installedKey struct {
@@ -281,11 +285,17 @@ func (f *Forwarder) nexthopActions(dst packet.IP4) ([]openflow.Action, bool) {
 	if f.UpstreamPort == 0 {
 		return nil, false
 	}
-	return []openflow.Action{
-		&openflow.ActionSetDLSrc{Addr: f.RouterMAC},
-		&openflow.ActionSetDLDst{Addr: f.UpstreamMAC},
-		&openflow.ActionOutput{Port: f.UpstreamPort},
-	}, true
+	f.mu.Lock()
+	if f.upstreamActs == nil {
+		f.upstreamActs = []openflow.Action{
+			&openflow.ActionSetDLSrc{Addr: f.RouterMAC},
+			&openflow.ActionSetDLDst{Addr: f.UpstreamMAC},
+			&openflow.ActionOutput{Port: f.UpstreamPort},
+		}
+	}
+	acts := f.upstreamActs
+	f.mu.Unlock()
+	return acts, true
 }
 
 // installDrop caches a denial as an empty-action entry so repeated packets

@@ -138,7 +138,7 @@ func (dp *Datapath) SweepExpired() int {
 			Reason:      reasons[i],
 			DurationSec: uint32(dur / time.Second), DurationNsec: uint32(dur % time.Second),
 			IdleTimeout: e.IdleTimeout,
-			PacketCount: e.Packets, ByteCount: e.Bytes,
+			PacketCount: e.PacketCount(), ByteCount: e.ByteCount(),
 		})
 	}
 	return len(removed)
@@ -254,7 +254,7 @@ func (dp *Datapath) handleFlowMod(m *openflow.FlowMod) {
 				Reason:      openflow.FlowRemovedDelete,
 				DurationSec: uint32(dur / time.Second),
 				IdleTimeout: e.IdleTimeout,
-				PacketCount: e.Packets, ByteCount: e.Bytes,
+				PacketCount: e.PacketCount(), ByteCount: e.ByteCount(),
 			})
 		}
 	default:
@@ -309,15 +309,15 @@ func (dp *Datapath) handleStats(m *openflow.StatsRequest) {
 				Priority:     e.Priority,
 				IdleTimeout:  e.IdleTimeout, HardTimeout: e.HardTimeout,
 				Cookie:      e.Cookie,
-				PacketCount: e.Packets, ByteCount: e.Bytes,
+				PacketCount: e.PacketCount(), ByteCount: e.ByteCount(),
 				Actions: e.Actions,
 			})
 		}
 	case openflow.StatsAggregate:
 		var agg openflow.AggregateStats
 		for _, e := range dp.table.Entries(&m.Flow.Match, m.Flow.OutPort) {
-			agg.PacketCount += e.Packets
-			agg.ByteCount += e.Bytes
+			agg.PacketCount += e.PacketCount()
+			agg.ByteCount += e.ByteCount()
 			agg.FlowCount++
 		}
 		rep.Aggregate = agg

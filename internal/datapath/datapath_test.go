@@ -1,6 +1,8 @@
 package datapath
 
 import (
+	"bytes"
+	"sync"
 	"testing"
 	"time"
 
@@ -45,8 +47,8 @@ func TestFlowTableExactLookup(t *testing.T) {
 	if got != e {
 		t.Fatal("exact lookup failed")
 	}
-	if got.Packets != 1 || got.Bytes != uint64(len(frame)) {
-		t.Errorf("counters = %d/%d", got.Packets, got.Bytes)
+	if got.PacketCount() != 1 || got.ByteCount() != uint64(len(frame)) {
+		t.Errorf("counters = %d/%d", got.PacketCount(), got.ByteCount())
 	}
 	if tbl.Lookup(&d, 9, len(frame), time.Now()) != nil {
 		t.Error("lookup matched wrong in_port")
@@ -97,7 +99,7 @@ func TestFlowTableAddReplacesAndResets(t *testing.T) {
 		t.Fatalf("Len = %d after replace", tbl.Len())
 	}
 	got := tbl.Lookup(&d, 1, len(frame), time.Now())
-	if got != e2 || got.Packets != 1 {
+	if got != e2 || got.PacketCount() != 1 {
 		t.Error("replacement did not reset counters")
 	}
 }
@@ -278,6 +280,137 @@ func TestDatapathRejectsBadPorts(t *testing.T) {
 	_ = dp.AddPort(&Port{No: 1})
 	if err := dp.AddPort(&Port{No: 1}); err == nil {
 		t.Error("duplicate port accepted")
+	}
+}
+
+// Exact-match lookups must not allocate: the per-packet path charges
+// counters through atomics under the read lock, with no table copies.
+func TestLookupExactZeroAllocs(t *testing.T) {
+	tbl := NewFlowTable()
+	frame := tcpFrame(1, 2, 80)
+	m := exactMatchFor(t, frame, 1)
+	_ = tbl.Add(&FlowEntry{Match: m, Priority: 10,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: 2}}}, false)
+	var d packet.Decoded
+	if err := d.Decode(frame); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if allocs := testing.AllocsPerRun(200, func() {
+		if tbl.Lookup(&d, 1, len(frame), now) == nil {
+			panic("probe missed")
+		}
+	}); allocs != 0 {
+		t.Errorf("Lookup allocs/op = %g, want 0", allocs)
+	}
+}
+
+// Lookup must charge the entry under the read lock without racing: many
+// goroutines bumping one entry's counters must not lose packets.
+func TestLookupConcurrentCounters(t *testing.T) {
+	tbl := NewFlowTable()
+	frame := tcpFrame(1, 2, 80)
+	m := exactMatchFor(t, frame, 1)
+	e := &FlowEntry{Match: m, Priority: 10}
+	_ = tbl.Add(e, false)
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	now := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var d packet.Decoded
+			if err := d.Decode(frame); err != nil {
+				panic(err)
+			}
+			for i := 0; i < per; i++ {
+				tbl.Lookup(&d, 1, len(frame), now)
+			}
+		}()
+	}
+	wg.Wait()
+	if e.PacketCount() != goroutines*per {
+		t.Errorf("packets = %d, want %d", e.PacketCount(), goroutines*per)
+	}
+	if e.ByteCount() != uint64(goroutines*per*len(frame)) {
+		t.Errorf("bytes = %d", e.ByteCount())
+	}
+	lookups, matched := tbl.Counters()
+	if lookups != goroutines*per || matched != goroutines*per {
+		t.Errorf("table counters = %d/%d", lookups, matched)
+	}
+}
+
+func TestReceiveBatch(t *testing.T) {
+	dp := New(Config{ID: 1})
+	var got [][]byte
+	_ = dp.AddPort(&Port{No: 1})
+	_ = dp.AddPort(&Port{No: 2, Out: func(f []byte) { got = append(got, append([]byte(nil), f...)) }})
+
+	f1 := tcpFrame(1, 2, 80)
+	f2 := tcpFrame(3, 2, 80)
+	_ = dp.Table().Add(&FlowEntry{Match: exactMatchFor(t, f1, 1), Priority: 1,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: 2}}}, false)
+	_ = dp.Table().Add(&FlowEntry{Match: exactMatchFor(t, f2, 1), Priority: 1,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: 2}}}, false)
+	miss := tcpFrame(5, 6, 443)
+
+	var fb packet.FrameBatch
+	for _, f := range [][]byte{f1, f2, miss} {
+		fb.Append(f)
+	}
+	dp.ReceiveBatch(1, &fb)
+
+	if len(got) != 2 {
+		t.Fatalf("forwarded %d frames, want 2", len(got))
+	}
+	if dp.PuntCount() != 1 {
+		t.Errorf("punts = %d, want 1", dp.PuntCount())
+	}
+	p1, _ := dp.Port(1)
+	stats := p1.Stats()
+	if stats.RxPackets != 3 || stats.RxBytes != uint64(len(f1)+len(f2)+len(miss)) {
+		t.Errorf("batched rx accounting = %d pkts / %d bytes", stats.RxPackets, stats.RxBytes)
+	}
+}
+
+// The MAC-rewrite fast path must rewrite only the Ethernet addresses,
+// leave the rest of the frame intact, and never mutate the input buffer
+// (which may belong to a sender's reused batch).
+func TestExecuteFastPathRewrite(t *testing.T) {
+	dp := New(Config{ID: 1})
+	var got []byte
+	_ = dp.AddPort(&Port{No: 1})
+	_ = dp.AddPort(&Port{No: 2, Out: func(f []byte) { got = append([]byte(nil), f...) }})
+
+	frame := tcpFrame(1, 2, 80)
+	orig := append([]byte(nil), frame...)
+	newSrc := packet.MustMAC("02:01:00:00:00:01")
+	newDst := packet.MustMAC("02:ee:00:00:00:01")
+	_ = dp.Table().Add(&FlowEntry{Match: exactMatchFor(t, frame, 1), Priority: 1,
+		Actions: []openflow.Action{
+			&openflow.ActionSetDLSrc{Addr: newSrc},
+			&openflow.ActionSetDLDst{Addr: newDst},
+			&openflow.ActionOutput{Port: 2},
+		}}, false)
+	dp.Receive(1, frame)
+
+	if got == nil {
+		t.Fatal("frame not forwarded")
+	}
+	var d packet.Decoded
+	if err := d.Decode(got); err != nil {
+		t.Fatal(err)
+	}
+	if d.Eth.Src != newSrc || d.Eth.Dst != newDst {
+		t.Errorf("MACs = %s -> %s", d.Eth.Src, d.Eth.Dst)
+	}
+	if !bytes.Equal(got[12:], orig[12:]) {
+		t.Error("rewrite touched bytes beyond the Ethernet addresses")
+	}
+	if !bytes.Equal(frame, orig) {
+		t.Error("input frame mutated by the fast path")
 	}
 }
 

@@ -11,13 +11,16 @@ package datapath
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/openflow"
 	"repro/internal/packet"
 )
 
-// FlowEntry is one row of the flow table with its counters.
+// FlowEntry is one row of the flow table with its counters. The counters
+// are atomics so the per-packet lookup path can charge them under the
+// table's read lock, letting all ports match concurrently.
 type FlowEntry struct {
 	Match       openflow.Match
 	Priority    uint16
@@ -28,9 +31,33 @@ type FlowEntry struct {
 	SendFlowRem bool
 
 	Installed time.Time
-	LastUsed  time.Time
-	Packets   uint64
-	Bytes     uint64
+
+	packets  atomic.Uint64
+	bytes    atomic.Uint64
+	lastUsed atomic.Int64 // UnixNano of the last match; 0 = never
+}
+
+// PacketCount returns how many packets have matched the entry.
+func (e *FlowEntry) PacketCount() uint64 { return e.packets.Load() }
+
+// ByteCount returns how many bytes have matched the entry.
+func (e *FlowEntry) ByteCount() uint64 { return e.bytes.Load() }
+
+// LastUsed returns when the entry last matched a packet; ok is false if
+// it never has.
+func (e *FlowEntry) LastUsed() (t time.Time, ok bool) {
+	n := e.lastUsed.Load()
+	if n == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, n), true
+}
+
+// touch charges one matched packet to the entry's counters.
+func (e *FlowEntry) touch(frameLen int, nowNanos int64) {
+	e.packets.Add(1)
+	e.bytes.Add(uint64(frameLen))
+	e.lastUsed.Store(nowNanos)
 }
 
 // flowKey identifies an entry for strict operations.
@@ -47,8 +74,8 @@ type FlowTable struct {
 	exact map[openflow.Match]*FlowEntry
 	wild  []*FlowEntry // sorted by priority descending, stable
 
-	lookups uint64
-	matched uint64
+	lookups atomic.Uint64
+	matched atomic.Uint64
 }
 
 // NewFlowTable returns an empty table.
@@ -65,32 +92,28 @@ func (t *FlowTable) Len() int {
 
 // Counters returns total lookups and matches since creation.
 func (t *FlowTable) Counters() (lookups, matched uint64) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.lookups, t.matched
+	return t.lookups.Load(), t.matched.Load()
 }
 
 // Lookup finds the highest-priority entry matching a decoded frame and
 // charges the entry's counters. Exact entries win over wildcarded ones, as
-// in OpenFlow 1.0.
+// in OpenFlow 1.0. Lookups run under the read lock — counters are atomics
+// — so the per-packet path never serializes ports behind a single mutex.
 func (t *FlowTable) Lookup(d *packet.Decoded, inPort uint16, frameLen int, now time.Time) *FlowEntry {
 	key := openflow.MatchFromFrame(d, inPort)
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.lookups++
+	nanos := now.UnixNano()
+	t.lookups.Add(1)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if e, ok := t.exact[key]; ok {
-		t.matched++
-		e.Packets++
-		e.Bytes += uint64(frameLen)
-		e.LastUsed = now
+		t.matched.Add(1)
+		e.touch(frameLen, nanos)
 		return e
 	}
 	for _, e := range t.wild {
 		if e.Match.Matches(d, inPort) {
-			t.matched++
-			e.Packets++
-			e.Bytes += uint64(frameLen)
-			e.LastUsed = now
+			t.matched.Add(1)
+			e.touch(frameLen, nanos)
 			return e
 		}
 	}
@@ -100,14 +123,22 @@ func (t *FlowTable) Lookup(d *packet.Decoded, inPort uint16, frameLen int, now t
 // Add installs an entry, replacing any entry with an identical match and
 // priority (counters reset, per the OpenFlow ADD semantics). When
 // checkOverlap is set, an overlapping entry at the same priority is an
-// error.
+// error; the scan walks the exact map and wildcard list in place rather
+// than materializing a copy of the table per flow-mod.
 func (t *FlowTable) Add(e *FlowEntry, checkOverlap bool) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if checkOverlap {
-		for _, o := range t.allLocked() {
-			if o.Priority == e.Priority && overlaps(&o.Match, &e.Match) &&
-				(o.Match != e.Match) {
+		conflict := func(o *FlowEntry) bool {
+			return o.Priority == e.Priority && o.Match != e.Match && overlaps(&o.Match, &e.Match)
+		}
+		for _, o := range t.exact {
+			if conflict(o) {
+				return &openflow.ErrorMsg{ErrType: openflow.ErrTypeFlowModFailed, Code: openflow.FlowModOverlap}
+			}
+		}
+		for _, o := range t.wild {
+			if conflict(o) {
 				return &openflow.ErrorMsg{ErrType: openflow.ErrTypeFlowModFailed, Code: openflow.FlowModOverlap}
 			}
 		}
@@ -175,16 +206,22 @@ func (t *FlowTable) Modify(m *openflow.Match, priority uint16, strict bool, acti
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	n := 0
-	for _, e := range t.allLocked() {
+	apply := func(e *FlowEntry) {
 		if strict {
 			if e.Match != *m || e.Priority != priority {
-				continue
+				return
 			}
 		} else if !m.Subsumes(&e.Match) {
-			continue
+			return
 		}
 		e.Actions = actions
 		n++
+	}
+	for _, e := range t.exact {
+		apply(e)
+	}
+	for _, e := range t.wild {
+		apply(e)
 	}
 	return n
 }
@@ -250,9 +287,9 @@ func (t *FlowTable) Expire(now time.Time) (removed []*FlowEntry, reasons []uint8
 			return openflow.FlowRemovedHardTimeout, true
 		}
 		if e.IdleTimeout > 0 {
-			last := e.LastUsed
-			if last.IsZero() {
-				last = e.Installed
+			last := e.Installed
+			if lu, ok := e.LastUsed(); ok {
+				last = lu
 			}
 			if now.Sub(last) >= time.Duration(e.IdleTimeout)*time.Second {
 				return openflow.FlowRemovedIdleTimeout, true

@@ -78,6 +78,11 @@ type Fleet struct {
 	nextID uint64
 	steps  uint64
 	closed bool
+	// plan is the homes-per-shard stepping plan (ascending ID within each
+	// shard), rebuilt only when membership changes instead of sorted and
+	// repartitioned on every tick.
+	plan      [][]*Home
+	planDirty bool
 }
 
 // New creates an empty fleet; add homes with AddHome/AddHomes.
@@ -168,6 +173,7 @@ func (f *Fleet) AddHome() (*Home, error) {
 		return nil, errors.New("fleet: closed")
 	}
 	f.homes[id] = h
+	f.planDirty = true
 	f.mu.Unlock()
 	return h, nil
 }
@@ -233,6 +239,7 @@ func (f *Fleet) RemoveHome(id uint64) bool {
 	h, ok := f.homes[id]
 	if ok {
 		delete(f.homes, id)
+		f.planDirty = true
 	}
 	f.mu.Unlock()
 	if !ok {
@@ -259,11 +266,15 @@ func (f *Fleet) Step(dt float64) error {
 	}
 	f.steps++
 	step := f.steps
-	byShard := make([][]*Home, f.cfg.Shards)
-	for _, h := range f.orderedLocked() {
-		s := shardOf(h.ID, f.cfg.Shards)
-		byShard[s] = append(byShard[s], h)
+	if f.plan == nil || f.planDirty {
+		f.plan = make([][]*Home, f.cfg.Shards)
+		for _, h := range f.orderedLocked() {
+			s := shardOf(h.ID, f.cfg.Shards)
+			f.plan[s] = append(f.plan[s], h)
+		}
+		f.planDirty = false
 	}
+	byShard := f.plan
 	f.mu.Unlock()
 
 	errs := make([]error, f.cfg.Shards)
@@ -319,6 +330,7 @@ func (f *Fleet) Stop() {
 	f.closed = true
 	homes := f.orderedLocked()
 	f.homes = make(map[uint64]*Home)
+	f.plan, f.planDirty = nil, true
 	f.mu.Unlock()
 
 	var wg sync.WaitGroup

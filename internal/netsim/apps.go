@@ -61,6 +61,7 @@ type App struct {
 	carry    float64 // fractional packet accumulation
 	sent     uint64  // payload bytes sent
 	flows    int     // parallel flows for p2p
+	payload  []byte  // reused all-zero payload scratch, PacketSize bytes
 
 	churnEvery float64 // seconds between fresh connections (0 = one flow)
 	churnCarry float64
@@ -181,6 +182,13 @@ func (a *App) Step(dt float64) {
 		flows = 1
 	}
 	srcPort := a.srcPort
+	// The payload is opaque zero filler: one per-app buffer serves every
+	// packet (frame builders copy it), so Step allocates nothing in
+	// steady state.
+	if cap(a.payload) < a.PacketSize {
+		a.payload = make([]byte, a.PacketSize)
+	}
+	payload := a.payload[:a.PacketSize]
 	a.mu.Unlock()
 
 	if needSyn {
@@ -188,7 +196,6 @@ func (a *App) Step(dt float64) {
 			a.host.sendTCP(dst, srcPort+uint16(f), a.DstPort(), packet.TCPSyn, 0, nil)
 		}
 	}
-	payload := make([]byte, a.PacketSize)
 	for i := 0; i < n; i++ {
 		port := srcPort + uint16(i%flows)
 		switch a.Proto() {

@@ -44,10 +44,26 @@ type Host struct {
 	nextPort uint16
 	apps     []*App
 
+	// txFree is a bounded free-list of transmit scratch buffers. Frame
+	// builds on the hot path borrow a buffer, serialize in one pass, hand
+	// the frame to the network synchronously and return the buffer, so
+	// steady-state sends do not allocate. The list (rather than a single
+	// buffer) keeps nested sends safe: delivering a frame can trigger a
+	// reply from inside the send call stack.
+	txFree [][]byte
+	// batch, when non-nil, is the per-step frame batch set by
+	// Network.Step: application traffic is serialized into it and handed
+	// to the datapath in one call after the host's apps have stepped.
+	batch *packet.FrameBatch
+	// txBatch is the host's owned batch, lazily created and reused.
+	txBatch *packet.FrameBatch
+
 	// RxBytes/RxFrames count frames delivered to this host.
 	RxBytes  uint64
 	RxFrames uint64
 	// OnFrame, when set, observes every delivered frame (tests, UIs).
+	// The frame may alias a sender's reused scratch buffer and is only
+	// valid for the duration of the call; copy it to retain it.
 	OnFrame func(frame []byte)
 }
 
@@ -64,6 +80,7 @@ func newHost(name string, mac packet.MAC, wireless bool, pos Pos) *Host {
 		resolved: make(map[string]packet.IP4),
 		dnsWait:  make(map[uint16]dnsQuery),
 		nextPort: 49152,
+		txFree:   make([][]byte, 0, 4),
 	}
 }
 
@@ -204,11 +221,11 @@ func (h *Host) handleARP(d *packet.Decoded) {
 		delete(h.arpWait, d.ARP.SenderIP)
 		h.mu.Unlock()
 		for _, f := range queued {
-			// Fill in the resolved destination MAC and transmit.
-			var e packet.Ethernet
-			if err := e.DecodeFromBytes(f); err == nil {
-				e.Dst = d.ARP.SenderHW
-				h.send(e.Bytes())
+			// Queued frames were serialized with a zero destination MAC;
+			// patch the resolved one in place and transmit.
+			if len(f) >= packet.EthernetHeaderLen {
+				copy(f[0:6], d.ARP.SenderHW[:])
+				h.send(f)
 			}
 		}
 	}
@@ -338,29 +355,77 @@ func (h *Host) handleData(d *packet.Decoded) {
 	}
 }
 
-// sendUDP emits a UDP datagram through the routing logic.
+// sendUDP emits a UDP datagram through the routing logic. The frame is
+// serialized in one pass into the step batch (when Network.Step is
+// driving the host) or a borrowed scratch buffer, so steady-state sends
+// do not allocate.
 func (h *Host) sendUDP(dst packet.IP4, srcPort, dstPort uint16, payload []byte) {
 	h.mu.Lock()
 	src := h.ip
-	h.mu.Unlock()
-	frame := packet.NewUDPFrame(h.MAC, packet.MAC{}, src, dst, srcPort, dstPort, payload)
-	h.route(dst, frame)
+	fb := h.batch
+	var ext []byte
+	start := 0
+	if fb != nil {
+		start = len(fb.Buf())
+		ext = packet.AppendUDPFrame(fb.Buf(), h.MAC, packet.MAC{}, src, dst, srcPort, dstPort, payload)
+	} else {
+		ext = packet.AppendUDPFrame(h.txBufLocked(), h.MAC, packet.MAC{}, src, dst, srcPort, dstPort, payload)
+	}
+	h.finishSendLocked(dst, ext, ext[start:], fb)
 }
 
-// sendTCP emits a TCP segment through the routing logic.
+// sendTCP emits a TCP segment through the routing logic; see sendUDP for
+// the buffering scheme.
 func (h *Host) sendTCP(dst packet.IP4, srcPort, dstPort uint16, flags uint8, seq uint32, payload []byte) {
 	h.mu.Lock()
 	src := h.ip
-	h.mu.Unlock()
-	frame := packet.NewTCPFrame(h.MAC, packet.MAC{}, src, dst, srcPort, dstPort, flags, seq, payload)
-	h.route(dst, frame)
+	fb := h.batch
+	var ext []byte
+	start := 0
+	if fb != nil {
+		start = len(fb.Buf())
+		ext = packet.AppendTCPFrame(fb.Buf(), h.MAC, packet.MAC{}, src, dst, srcPort, dstPort, flags, seq, 0, payload)
+	} else {
+		ext = packet.AppendTCPFrame(h.txBufLocked(), h.MAC, packet.MAC{}, src, dst, srcPort, dstPort, flags, seq, 0, payload)
+	}
+	h.finishSendLocked(dst, ext, ext[start:], fb)
 }
 
-// route resolves the next-hop MAC for dst and transmits. Under a /32 lease
-// every destination is off-link, so everything goes via the gateway — the
-// Homework mechanism that forces all flows through the router.
-func (h *Host) route(dst packet.IP4, frame *packet.Ethernet) {
-	h.mu.Lock()
+// finishSendLocked routes and transmits a frame just built under h.mu.
+// ext is the whole extended buffer (the batch's backing buffer when fb is
+// non-nil, else a borrowed scratch buffer) and frame the newly appended
+// frame within it. It unlocks h.mu.
+func (h *Host) finishSendLocked(dst packet.IP4, ext, frame []byte, fb *packet.FrameBatch) {
+	ready, arpFor, myIP := h.routeLocked(dst, frame)
+	if ready && fb != nil {
+		fb.Commit(ext)
+		h.mu.Unlock()
+		return
+	}
+	h.mu.Unlock()
+	if ready {
+		h.send(frame)
+		h.putTxBuf(ext)
+		return
+	}
+	// Unroutable or queued pending ARP: a batch build is simply left
+	// uncommitted; a scratch build is returned.
+	if fb == nil {
+		h.putTxBuf(ext)
+	}
+	if !arpFor.IsZero() {
+		req := packet.NewARPRequest(h.MAC, myIP, arpFor)
+		h.send(req.Bytes())
+	}
+}
+
+// routeLocked resolves the next-hop MAC for a frame serialized with a
+// zero destination MAC, patching it in place. Under a /32 lease every
+// destination is off-link, so everything goes via the gateway — the
+// Homework mechanism that forces all flows through the router. When the
+// next hop's MAC is unresolved the frame is copied onto the ARP wait
+// queue and the address to ARP for is returned. Caller holds h.mu.
+func (h *Host) routeLocked(dst packet.IP4, frame []byte) (ready bool, arpFor, myIP packet.IP4) {
 	nexthop := dst
 	if h.mask < 32 {
 		if dst.Mask(h.mask) != h.ip.Mask(h.mask) {
@@ -370,21 +435,57 @@ func (h *Host) route(dst packet.IP4, frame *packet.Ethernet) {
 		nexthop = h.gw
 	}
 	if nexthop.IsZero() {
-		h.mu.Unlock()
-		return
+		return false, packet.IP4{}, packet.IP4{}
 	}
-	mac, known := h.arp[nexthop]
-	if known {
-		h.mu.Unlock()
-		frame.Dst = mac
-		h.send(frame.Bytes())
-		return
+	if mac, known := h.arp[nexthop]; known {
+		copy(frame[0:6], mac[:])
+		return true, packet.IP4{}, packet.IP4{}
 	}
-	h.arpWait[nexthop] = append(h.arpWait[nexthop], frame.Bytes())
-	myIP := h.ip
+	h.arpWait[nexthop] = append(h.arpWait[nexthop], append([]byte(nil), frame...))
+	return false, nexthop, h.ip
+}
+
+// txBufLocked pops a transmit scratch buffer off the free-list (caller
+// holds h.mu).
+func (h *Host) txBufLocked() []byte {
+	if n := len(h.txFree); n > 0 {
+		b := h.txFree[n-1]
+		h.txFree = h.txFree[:n-1]
+		return b[:0]
+	}
+	return make([]byte, 0, 2048)
+}
+
+// putTxBuf returns a transmit scratch buffer to the free-list. The list
+// is bounded by its preallocated capacity, so returning never allocates.
+func (h *Host) putTxBuf(b []byte) {
+	h.mu.Lock()
+	if len(h.txFree) < cap(h.txFree) {
+		h.txFree = append(h.txFree, b)
+	}
 	h.mu.Unlock()
-	req := packet.NewARPRequest(h.MAC, myIP, nexthop)
-	h.send(req.Bytes())
+}
+
+// beginBatch enters the batching window: subsequent app sends serialize
+// into the returned per-step batch instead of transmitting one by one.
+// Only Network.Step calls this, and only one step runs per network at a
+// time.
+func (h *Host) beginBatch() *packet.FrameBatch {
+	h.mu.Lock()
+	if h.txBatch == nil {
+		h.txBatch = &packet.FrameBatch{}
+	}
+	h.batch = h.txBatch
+	h.mu.Unlock()
+	return h.txBatch
+}
+
+// endBatch leaves the batching window; the caller then delivers the
+// batch and resets it.
+func (h *Host) endBatch() {
+	h.mu.Lock()
+	h.batch = nil
+	h.mu.Unlock()
 }
 
 // ephemeralPort hands out client port numbers.
@@ -413,6 +514,16 @@ func (h *Host) Apps() []*App {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return append([]*App(nil), h.apps...)
+}
+
+// appsSnapshot returns the apps slice without copying: the list is
+// append-only, so a slice-header snapshot taken under the lock is an
+// immutable view (the tick path uses this to avoid a per-host copy per
+// step).
+func (h *Host) appsSnapshot() []*App {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.apps
 }
 
 // String identifies the host in logs.

@@ -149,6 +149,87 @@ func TestUpstreamDNSZone(t *testing.T) {
 	}
 }
 
+// A multi-name address must resolve to the same name on every run: the
+// canonical name is the shortest, ties broken lexicographically,
+// independent of zone-map iteration order.
+func TestReverseLookupDeterministic(t *testing.T) {
+	want := map[string]string{
+		"157.240.1.35":   "facebook.com",
+		"142.250.180.14": "youtube.com",
+		"151.101.0.81":   "bbc.co.uk",
+		"93.184.216.34":  "example.com",
+	}
+	for i := 0; i < 20; i++ {
+		u := NewUpstream()
+		for addr, name := range want {
+			got, ok := u.ReverseLookup(packet.MustIP4(addr))
+			if !ok || got != name {
+				t.Fatalf("run %d: ReverseLookup(%s) = %q, %v; want %q", i, addr, got, ok, name)
+			}
+		}
+	}
+}
+
+func TestReverseLookupFollowsZoneChanges(t *testing.T) {
+	u := NewUpstream()
+	ip := packet.MustIP4("198.51.100.7")
+	// Later-but-shorter and tie-length names must win deterministically.
+	u.AddZone("bb.example", ip)
+	u.AddZone("aa.example", ip)
+	if name, _ := u.ReverseLookup(ip); name != "aa.example" {
+		t.Errorf("tie-break = %q, want aa.example", name)
+	}
+	u.AddZone("x.example", ip)
+	if name, _ := u.ReverseLookup(ip); name != "x.example" {
+		t.Errorf("shorter name did not win: %q", name)
+	}
+	// Retargeting the canonical name away must fall back to the next
+	// preferred name for the old address.
+	u.AddZone("x.example", packet.MustIP4("198.51.100.8"))
+	if name, _ := u.ReverseLookup(ip); name != "aa.example" {
+		t.Errorf("after retarget = %q, want aa.example", name)
+	}
+	if name, _ := u.ReverseLookup(packet.MustIP4("198.51.100.8")); name != "x.example" {
+		t.Errorf("retargeted address = %q, want x.example", name)
+	}
+}
+
+// Network.Step must hand each host's tick of traffic to the datapath as
+// one batch with the same per-frame outcome as frame-by-frame receive.
+func TestStepBatchesHostTraffic(t *testing.T) {
+	dp := datapath.New(datapath.Config{ID: 1})
+	n := New(dp, DefaultWireless(1))
+	h, err := n.AddHost("gen", packet.MustMAC("02:aa:00:00:00:01"), false, Pos{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwMAC := packet.MustMAC("02:01:00:00:00:01")
+	h.mu.Lock()
+	h.state = dhcpBound
+	h.ip = packet.MustIP4("192.168.1.10")
+	h.gw = packet.MustIP4("192.168.1.1")
+	h.mask = 32
+	h.arp[h.gw] = gwMAC
+	h.mu.Unlock()
+
+	a := NewApp(AppVoIP, "10.0.0.9", 16000)
+	h.AddApp(a)
+	n.Step(0) // resolve the literal target
+	n.Step(0.5)
+
+	// Every emitted frame reached the (empty-table) datapath and punted;
+	// port counters were charged for the whole batch.
+	p, _ := dp.Port(1)
+	stats := p.Stats()
+	wantFrames := uint64(a.SentBytes())/160 + 0 // 160-byte VoIP packets
+	if stats.RxPackets == 0 || stats.RxPackets != wantFrames {
+		t.Errorf("rx packets = %d, want %d", stats.RxPackets, wantFrames)
+	}
+	if dp.PuntCount() != wantFrames {
+		t.Errorf("punts = %d, want %d", dp.PuntCount(), wantFrames)
+	}
+}
+
 func TestHostEphemeralPortsAdvance(t *testing.T) {
 	h := newHost("x", packet.MAC{1}, false, Pos{})
 	p1 := h.ephemeralPort()

@@ -6,11 +6,17 @@ import (
 	"repro/internal/packet"
 )
 
+// zeroPayload is the shared all-zero filler for synthesized response
+// traffic; frame builders copy from it, so one buffer serves every reply.
+var zeroPayload [1400]byte
+
 // Upstream stands in for the ISP uplink and the public Internet: it
 // answers ARP for every off-home address (it is the default route's next
 // hop), serves an authoritative DNS zone on DNSAddr, and responds to
 // transport flows addressed to any of its server addresses with a
-// service-dependent volume of reply traffic.
+// service-dependent volume of reply traffic. Replies to one delivered
+// frame are serialized into a reused batch and handed to the datapath in
+// a single call.
 type Upstream struct {
 	MAC     packet.MAC
 	IP      packet.IP4 // next-hop address on the WAN side
@@ -23,10 +29,21 @@ type Upstream struct {
 	localNet packet.IP4
 	localLen int
 	zone     map[string]packet.IP4
-	ratio    map[uint16]float64 // dst port -> response bytes per request byte
+	rev      map[packet.IP4]string // deterministic reverse index, see ReverseLookup
+	ratio    map[uint16]float64    // dst port -> response bytes per request byte
 	rxBytes  uint64
 	txBytes  uint64
 	queries  uint64
+	txFree   []*upstreamTx // bounded free-list of reply batches
+}
+
+// upstreamTx is the per-delivery working set: a decode buffer and the
+// reply batch. A free-list (rather than a single instance) keeps nested
+// deliveries safe: a reply can traverse the datapath and come back before
+// the outer Deliver returns.
+type upstreamTx struct {
+	d  packet.Decoded
+	fb packet.FrameBatch
 }
 
 // NewUpstream builds an upstream with a synthetic zone covering the sites
@@ -49,6 +66,7 @@ func NewUpstream() *Upstream {
 			"voip.example.com": packet.MustIP4("93.184.216.41"),
 			"tracker.example":  packet.MustIP4("93.184.216.50"),
 		},
+		rev: make(map[packet.IP4]string),
 		ratio: map[uint16]float64{
 			80:   8,    // web: download-heavy
 			443:  20,   // streaming video
@@ -57,8 +75,41 @@ func NewUpstream() *Upstream {
 			8883: 0.25, // iot telemetry acks
 			53:   2,    // dns
 		},
+		txFree: make([]*upstreamTx, 0, 4),
+	}
+	for name, ip := range u.zone {
+		u.indexLocked(name, ip)
 	}
 	return u
+}
+
+// preferredName reports whether a should win over b as the canonical
+// reverse-lookup name for an address: the shortest name wins, ties broken
+// lexicographically. The rule is a pure function of the candidate set, so
+// the index is identical however the zone was populated.
+func preferredName(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
+// indexLocked folds one name into the reverse index (caller holds u.mu).
+func (u *Upstream) indexLocked(name string, ip packet.IP4) {
+	if cur, ok := u.rev[ip]; !ok || preferredName(name, cur) {
+		u.rev[ip] = name
+	}
+}
+
+// reindexLocked rebuilds the reverse entry for ip from the zone (caller
+// holds u.mu); used when a name is retargeted away from ip.
+func (u *Upstream) reindexLocked(ip packet.IP4) {
+	delete(u.rev, ip)
+	for name, a := range u.zone {
+		if a == ip {
+			u.indexLocked(name, a)
+		}
+	}
 }
 
 // SetLocalNet tells the upstream which prefix is the home network, so it
@@ -69,10 +120,16 @@ func (u *Upstream) SetLocalNet(prefix packet.IP4, length int) {
 	u.mu.Unlock()
 }
 
-// AddZone adds or overrides a DNS name.
+// AddZone adds or overrides a DNS name, keeping the reverse index
+// consistent.
 func (u *Upstream) AddZone(name string, ip packet.IP4) {
 	u.mu.Lock()
+	old, existed := u.zone[name]
 	u.zone[name] = ip
+	if existed && old != ip {
+		u.reindexLocked(old)
+	}
+	u.indexLocked(name, ip)
 	u.mu.Unlock()
 }
 
@@ -84,17 +141,15 @@ func (u *Upstream) Lookup(name string) (packet.IP4, bool) {
 	return ip, ok
 }
 
-// ReverseLookup finds a name for an address (used by the DNS proxy's
-// reverse path).
+// ReverseLookup finds the canonical name for an address (used by the DNS
+// proxy's reverse path). Addresses with several names resolve to the same
+// name on every run — the shortest, ties broken lexicographically — so
+// hwdb flow→name attribution never flickers between runs.
 func (u *Upstream) ReverseLookup(ip packet.IP4) (string, bool) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	for name, a := range u.zone {
-		if a == ip {
-			return name, true
-		}
-	}
-	return "", false
+	name, ok := u.rev[ip]
+	return name, ok
 }
 
 // Counters returns bytes received/sent and DNS queries answered.
@@ -104,16 +159,43 @@ func (u *Upstream) Counters() (rx, tx, queries uint64) {
 	return u.rxBytes, u.txBytes, u.queries
 }
 
-// Deliver processes a frame forwarded out of the home.
+// getTx borrows a working set off the free-list.
+func (u *Upstream) getTx() *upstreamTx {
+	u.mu.Lock()
+	if n := len(u.txFree); n > 0 {
+		tx := u.txFree[n-1]
+		u.txFree = u.txFree[:n-1]
+		u.mu.Unlock()
+		return tx
+	}
+	u.mu.Unlock()
+	return &upstreamTx{}
+}
+
+// putTx returns a working set; the free-list is bounded by its
+// preallocated capacity.
+func (u *Upstream) putTx(tx *upstreamTx) {
+	tx.fb.Reset()
+	u.mu.Lock()
+	if len(u.txFree) < cap(u.txFree) {
+		u.txFree = append(u.txFree, tx)
+	}
+	u.mu.Unlock()
+}
+
+// Deliver processes a frame forwarded out of the home, emitting any reply
+// traffic as one batch.
 func (u *Upstream) Deliver(frame []byte) {
 	u.mu.Lock()
 	u.rxBytes += uint64(len(frame))
 	u.mu.Unlock()
 
-	var d packet.Decoded
-	if err := d.Decode(frame); err != nil {
+	tx := u.getTx()
+	defer u.putTx(tx)
+	if err := tx.d.Decode(frame); err != nil {
 		return
 	}
+	d, fb := &tx.d, &tx.fb
 	switch {
 	case d.HasARP && d.ARP.Op == packet.ARPRequest:
 		// The upstream is the next hop for everything beyond the home —
@@ -125,25 +207,30 @@ func (u *Upstream) Deliver(frame []byte) {
 		if local {
 			return
 		}
-		reply := packet.NewARPReply(u.MAC, d.ARP.TargetIP, &d.ARP)
-		u.transmit(reply.Bytes())
+		fb.Commit(packet.AppendARPReply(fb.Buf(), u.MAC, d.ARP.TargetIP, &d.ARP))
 	case d.HasUDP && d.UDP.DstPort == packet.DNSPort && d.IP.Dst == u.DNSAddr:
-		u.serveDNS(&d)
+		u.serveDNS(d, fb)
 	case d.HasTCP:
-		u.serveTCP(&d)
+		u.serveTCP(d, fb)
 	case d.HasUDP:
-		u.serveUDP(&d)
+		u.serveUDP(d, fb)
 	}
+	u.flush(fb)
 }
 
-func (u *Upstream) transmit(frame []byte) {
+// flush hands the accumulated replies to the datapath in one call.
+func (u *Upstream) flush(fb *packet.FrameBatch) {
+	if fb.Len() == 0 {
+		return
+	}
 	u.mu.Lock()
-	u.txBytes += uint64(len(frame))
+	u.txBytes += uint64(fb.TotalBytes())
 	u.mu.Unlock()
-	u.net.fromUpstream(u, frame)
+	u.net.fromUpstreamBatch(u, fb)
+	fb.Reset()
 }
 
-func (u *Upstream) serveDNS(d *packet.Decoded) {
+func (u *Upstream) serveDNS(d *packet.Decoded, fb *packet.FrameBatch) {
 	var q packet.DNS
 	if err := q.DecodeFromBytes(d.UDP.Payload); err != nil || len(q.Questions) == 0 {
 		return
@@ -184,40 +271,34 @@ func (u *Upstream) serveDNS(d *packet.Decoded) {
 	if err != nil {
 		return
 	}
-	u.reply(d, raw, packet.ProtoUDP)
+	u.reply(d, fb, raw, packet.ProtoUDP)
 }
 
 // serveTCP answers SYNs with SYN-ACK and data with a service-dependent
 // response volume.
-func (u *Upstream) serveTCP(d *packet.Decoded) {
+func (u *Upstream) serveTCP(d *packet.Decoded, fb *packet.FrameBatch) {
 	if d.TCP.Flags&packet.TCPSyn != 0 && d.TCP.Flags&packet.TCPAck == 0 {
-		syn := packet.TCP{
-			SrcPort: d.TCP.DstPort, DstPort: d.TCP.SrcPort,
-			Seq: 0, Ack: d.TCP.Seq + 1,
-			Flags: packet.TCPSyn | packet.TCPAck, Window: 65535,
-		}
-		ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoTCP, Src: d.IP.Dst, Dst: d.IP.Src,
-			Payload: syn.Bytes(d.IP.Dst, d.IP.Src)}
-		eth := packet.Ethernet{Dst: d.Eth.Src, Src: u.MAC, Type: packet.EtherTypeIPv4, Payload: ip.Bytes()}
-		u.transmit(eth.Bytes())
+		fb.Commit(packet.AppendTCPFrame(fb.Buf(), u.MAC, d.Eth.Src,
+			d.IP.Dst, d.IP.Src, d.TCP.DstPort, d.TCP.SrcPort,
+			packet.TCPSyn|packet.TCPAck, 0, d.TCP.Seq+1, nil))
 		return
 	}
 	if len(d.TCP.Payload) == 0 {
 		return
 	}
-	u.respondData(d, len(d.TCP.Payload), d.TCP.DstPort, packet.ProtoTCP)
+	u.respondData(d, fb, len(d.TCP.Payload), d.TCP.DstPort, packet.ProtoTCP)
 }
 
-func (u *Upstream) serveUDP(d *packet.Decoded) {
+func (u *Upstream) serveUDP(d *packet.Decoded, fb *packet.FrameBatch) {
 	if len(d.UDP.Payload) == 0 {
 		return
 	}
-	u.respondData(d, len(d.UDP.Payload), d.UDP.DstPort, packet.ProtoUDP)
+	u.respondData(d, fb, len(d.UDP.Payload), d.UDP.DstPort, packet.ProtoUDP)
 }
 
-// respondData sends ratio-scaled response bytes back toward the client,
+// respondData emits ratio-scaled response bytes back toward the client,
 // split into MTU-sized frames (capped to bound simulation cost).
-func (u *Upstream) respondData(d *packet.Decoded, reqLen int, dstPort uint16, proto packet.IPProto) {
+func (u *Upstream) respondData(d *packet.Decoded, fb *packet.FrameBatch, reqLen int, dstPort uint16, proto packet.IPProto) {
 	u.mu.Lock()
 	ratio, ok := u.ratio[dstPort]
 	u.mu.Unlock()
@@ -225,7 +306,7 @@ func (u *Upstream) respondData(d *packet.Decoded, reqLen int, dstPort uint16, pr
 		ratio = 1
 	}
 	total := int(float64(reqLen) * ratio)
-	const mtuPayload = 1400
+	const mtuPayload = len(zeroPayload)
 	const maxFrames = 32
 	frames := 0
 	for total > 0 && frames < maxFrames {
@@ -235,27 +316,21 @@ func (u *Upstream) respondData(d *packet.Decoded, reqLen int, dstPort uint16, pr
 		}
 		total -= sz
 		frames++
-		u.reply(d, make([]byte, sz), proto)
+		u.reply(d, fb, zeroPayload[:sz], proto)
 	}
 }
 
-// reply sends a transport payload back to the source of d, addressed at
-// Ethernet level to whoever forwarded the frame (the router's WAN side).
-func (u *Upstream) reply(d *packet.Decoded, payload []byte, proto packet.IPProto) {
-	var ipPayload []byte
+// reply serializes one transport reply toward the source of d, addressed
+// at Ethernet level to whoever forwarded the frame (the router's WAN
+// side), into the batch.
+func (u *Upstream) reply(d *packet.Decoded, fb *packet.FrameBatch, payload []byte, proto packet.IPProto) {
 	switch proto {
 	case packet.ProtoUDP:
-		udp := packet.UDP{SrcPort: d.UDP.DstPort, DstPort: d.UDP.SrcPort, Payload: payload}
-		ipPayload = udp.Bytes(d.IP.Dst, d.IP.Src)
+		fb.Commit(packet.AppendUDPFrame(fb.Buf(), u.MAC, d.Eth.Src,
+			d.IP.Dst, d.IP.Src, d.UDP.DstPort, d.UDP.SrcPort, payload))
 	default:
-		tcp := packet.TCP{
-			SrcPort: d.TCP.DstPort, DstPort: d.TCP.SrcPort,
-			Seq: d.TCP.Ack, Ack: d.TCP.Seq + uint32(len(d.TCP.Payload)),
-			Flags: packet.TCPAck | packet.TCPPsh, Window: 65535, Payload: payload,
-		}
-		ipPayload = tcp.Bytes(d.IP.Dst, d.IP.Src)
+		fb.Commit(packet.AppendTCPFrame(fb.Buf(), u.MAC, d.Eth.Src,
+			d.IP.Dst, d.IP.Src, d.TCP.DstPort, d.TCP.SrcPort,
+			packet.TCPAck|packet.TCPPsh, d.TCP.Ack, d.TCP.Seq+uint32(len(d.TCP.Payload)), payload))
 	}
-	ip := packet.IPv4{TTL: 64, Protocol: proto, Src: d.IP.Dst, Dst: d.IP.Src, Payload: ipPayload}
-	eth := packet.Ethernet{Dst: d.Eth.Src, Src: u.MAC, Type: packet.EtherTypeIPv4, Payload: ip.Bytes()}
-	u.transmit(eth.Bytes())
 }

@@ -39,8 +39,9 @@ func (a *ARP) DecodeFromBytes(data []byte) error {
 	return nil
 }
 
-// Serialize appends the encoded ARP payload to b.
-func (a *ARP) Serialize(b []byte) []byte {
+// AppendTo appends the encoded ARP payload to b and returns the extended
+// buffer.
+func (a *ARP) AppendTo(b []byte) []byte {
 	b = binary.BigEndian.AppendUint16(b, 1) // Ethernet
 	b = binary.BigEndian.AppendUint16(b, uint16(EtherTypeIPv4))
 	b = append(b, 6, 4)
@@ -53,7 +54,19 @@ func (a *ARP) Serialize(b []byte) []byte {
 }
 
 // Bytes returns the encoded ARP payload as a fresh slice.
-func (a *ARP) Bytes() []byte { return a.Serialize(make([]byte, 0, ARPLen)) }
+func (a *ARP) Bytes() []byte { return a.AppendTo(make([]byte, 0, ARPLen)) }
+
+// AppendARPReply appends a complete unicast is-at reply frame answering
+// req, built in one pass with no intermediate per-layer slices.
+func AppendARPReply(b []byte, senderHW MAC, senderIP IP4, req *ARP) []byte {
+	b = appendEthernetHeader(b, req.SenderHW, senderHW, EtherTypeARP)
+	arp := ARP{
+		Op:       ARPReply,
+		SenderHW: senderHW, SenderIP: senderIP,
+		TargetHW: req.SenderHW, TargetIP: req.SenderIP,
+	}
+	return arp.AppendTo(b)
+}
 
 // NewARPRequest builds a who-has request frame from sender for targetIP.
 func NewARPRequest(senderHW MAC, senderIP, targetIP IP4) *Ethernet {

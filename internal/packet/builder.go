@@ -1,5 +1,7 @@
 package packet
 
+import "encoding/binary"
+
 // Decoded is a one-pass parse of a frame up to the transport layer, used by
 // the datapath for flow matching and by the measurement plane for accounting.
 // All byte-slice fields alias the original frame buffer.
@@ -96,4 +98,88 @@ func NewICMPEchoFrame(srcMAC, dstMAC MAC, srcIP, dstIP IP4, typ uint8, id, seq u
 	icmp := ICMP{Type: typ, ID: id, Seq: seq, Payload: payload}
 	ip := IPv4{TTL: 64, Protocol: ProtoICMP, Src: srcIP, Dst: dstIP, Payload: icmp.Bytes()}
 	return &Ethernet{Dst: dstMAC, Src: srcMAC, Type: EtherTypeIPv4, Payload: ip.Bytes()}
+}
+
+// The Append*Frame family serializes whole frames in a single pass into a
+// caller-supplied buffer: no intermediate per-layer payload slices, so a
+// reused scratch buffer gives allocation-free steady-state frame building.
+// Output is byte-identical to the corresponding New*Frame(...).Bytes().
+
+// appendEthernetHeader appends an untagged Ethernet II header.
+func appendEthernetHeader(b []byte, dst, src MAC, typ EtherType) []byte {
+	b = append(b, dst[:]...)
+	b = append(b, src[:]...)
+	return binary.BigEndian.AppendUint16(b, uint16(typ))
+}
+
+// appendIPv4Header appends an option-less IPv4 header (TTL 64, no
+// fragmentation) with its checksum for a payload of payloadLen bytes.
+func appendIPv4Header(b []byte, proto IPProto, src, dst IP4, payloadLen int) []byte {
+	start := len(b)
+	b = append(b, 4<<4|IPv4HeaderLen/4, 0) // version+IHL, TOS
+	b = binary.BigEndian.AppendUint16(b, uint16(IPv4HeaderLen+payloadLen))
+	b = append(b, 0, 0, 0, 0)            // ID, flags+fragment offset
+	b = append(b, 64, byte(proto), 0, 0) // TTL, protocol, checksum placeholder
+	b = append(b, src[:]...)
+	b = append(b, dst[:]...)
+	cs := Checksum(b[start:start+IPv4HeaderLen], 0)
+	binary.BigEndian.PutUint16(b[start+10:start+12], cs)
+	return b
+}
+
+// AppendUDPFrame appends a complete Ethernet/IPv4/UDP frame to b.
+func AppendUDPFrame(b []byte, srcMAC, dstMAC MAC, srcIP, dstIP IP4, srcPort, dstPort uint16, payload []byte) []byte {
+	length := UDPHeaderLen + len(payload)
+	b = appendEthernetHeader(b, dstMAC, srcMAC, EtherTypeIPv4)
+	b = appendIPv4Header(b, ProtoUDP, srcIP, dstIP, length)
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, srcPort)
+	b = binary.BigEndian.AppendUint16(b, dstPort)
+	b = binary.BigEndian.AppendUint16(b, uint16(length))
+	b = append(b, 0, 0)
+	b = append(b, payload...)
+	cs := Checksum(b[start:], pseudoHeaderSum(srcIP, dstIP, ProtoUDP, length))
+	if cs == 0 {
+		cs = 0xffff
+	}
+	binary.BigEndian.PutUint16(b[start+6:start+8], cs)
+	return b
+}
+
+// AppendTCPFrame appends a complete Ethernet/IPv4/TCP frame to b. Unlike
+// NewTCPFrame it also takes the acknowledgement number, which the upstream
+// simulator needs for SYN-ACKs and data acks; the window is fixed at 65535
+// as everywhere else in the simulator.
+func AppendTCPFrame(b []byte, srcMAC, dstMAC MAC, srcIP, dstIP IP4, srcPort, dstPort uint16, flags uint8, seq, ack uint32, payload []byte) []byte {
+	length := TCPHeaderLen + len(payload)
+	b = appendEthernetHeader(b, dstMAC, srcMAC, EtherTypeIPv4)
+	b = appendIPv4Header(b, ProtoTCP, srcIP, dstIP, length)
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, srcPort)
+	b = binary.BigEndian.AppendUint16(b, dstPort)
+	b = binary.BigEndian.AppendUint32(b, seq)
+	b = binary.BigEndian.AppendUint32(b, ack)
+	b = append(b, byte(TCPHeaderLen/4)<<4, flags)
+	b = binary.BigEndian.AppendUint16(b, 65535)
+	b = append(b, 0, 0) // checksum placeholder
+	b = append(b, 0, 0) // urgent pointer
+	b = append(b, payload...)
+	cs := Checksum(b[start:], pseudoHeaderSum(srcIP, dstIP, ProtoTCP, length))
+	binary.BigEndian.PutUint16(b[start+16:start+18], cs)
+	return b
+}
+
+// AppendICMPEchoFrame appends a complete ICMP echo request or reply frame
+// to b.
+func AppendICMPEchoFrame(b []byte, srcMAC, dstMAC MAC, srcIP, dstIP IP4, typ uint8, id, seq uint16, payload []byte) []byte {
+	b = appendEthernetHeader(b, dstMAC, srcMAC, EtherTypeIPv4)
+	b = appendIPv4Header(b, ProtoICMP, srcIP, dstIP, ICMPHeaderLen+len(payload))
+	start := len(b)
+	b = append(b, typ, 0, 0, 0)
+	b = binary.BigEndian.AppendUint16(b, id)
+	b = binary.BigEndian.AppendUint16(b, seq)
+	b = append(b, payload...)
+	cs := Checksum(b[start:], 0)
+	binary.BigEndian.PutUint16(b[start+2:start+4], cs)
+	return b
 }

@@ -1,0 +1,151 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+var (
+	testSrcMAC = MAC{2, 0, 0, 0, 0, 1}
+	testDstMAC = MAC{2, 0, 0, 0, 0, 2}
+	testSrcIP  = IP4{192, 168, 1, 10}
+	testDstIP  = IP4{93, 184, 216, 34}
+)
+
+// The single-pass appenders must be byte-identical to the layered
+// builders they replace on the hot paths.
+func TestAppendFrameBuildersMatchLayered(t *testing.T) {
+	payload := []byte("hello, datapath")
+
+	udpWant := NewUDPFrame(testSrcMAC, testDstMAC, testSrcIP, testDstIP, 5000, 53, payload).Bytes()
+	udpGot := AppendUDPFrame(nil, testSrcMAC, testDstMAC, testSrcIP, testDstIP, 5000, 53, payload)
+	if !bytes.Equal(udpGot, udpWant) {
+		t.Errorf("AppendUDPFrame differs from NewUDPFrame().Bytes():\n got %x\nwant %x", udpGot, udpWant)
+	}
+
+	tcpWant := NewTCPFrame(testSrcMAC, testDstMAC, testSrcIP, testDstIP, 40000, 80, TCPAck|TCPPsh, 77, payload).Bytes()
+	tcpGot := AppendTCPFrame(nil, testSrcMAC, testDstMAC, testSrcIP, testDstIP, 40000, 80, TCPAck|TCPPsh, 77, 0, payload)
+	if !bytes.Equal(tcpGot, tcpWant) {
+		t.Errorf("AppendTCPFrame differs from NewTCPFrame().Bytes():\n got %x\nwant %x", tcpGot, tcpWant)
+	}
+
+	icmpWant := NewICMPEchoFrame(testSrcMAC, testDstMAC, testSrcIP, testDstIP, ICMPEchoRequest, 3, 4, payload).Bytes()
+	icmpGot := AppendICMPEchoFrame(nil, testSrcMAC, testDstMAC, testSrcIP, testDstIP, ICMPEchoRequest, 3, 4, payload)
+	if !bytes.Equal(icmpGot, icmpWant) {
+		t.Errorf("AppendICMPEchoFrame differs from NewICMPEchoFrame().Bytes():\n got %x\nwant %x", icmpGot, icmpWant)
+	}
+}
+
+// AppendTCPFrame's extra acknowledgement parameter must land in the TCP
+// header (New*Frame cannot express it).
+func TestAppendTCPFrameAck(t *testing.T) {
+	f := AppendTCPFrame(nil, testSrcMAC, testDstMAC, testSrcIP, testDstIP,
+		80, 40000, TCPSyn|TCPAck, 0, 1234, nil)
+	var d Decoded
+	if err := d.Decode(f); err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasTCP || d.TCP.Ack != 1234 || d.TCP.Flags != TCPSyn|TCPAck {
+		t.Errorf("decoded ack=%d flags=%x", d.TCP.Ack, d.TCP.Flags)
+	}
+	if d.TCP.Window != 65535 {
+		t.Errorf("window = %d", d.TCP.Window)
+	}
+}
+
+// The ARP reply appender must match the layered reply builder.
+func TestAppendARPReplyMatchesLayered(t *testing.T) {
+	req := ARP{Op: ARPRequest, SenderHW: testSrcMAC, SenderIP: testSrcIP, TargetIP: testDstIP}
+	want := NewARPReply(testDstMAC, testDstIP, &req).Bytes()
+	got := AppendARPReply(nil, testDstMAC, testDstIP, &req)
+	if !bytes.Equal(got, want) {
+		t.Errorf("AppendARPReply differs:\n got %x\nwant %x", got, want)
+	}
+}
+
+// Steady-state frame building into a reused buffer must not allocate:
+// this pins the hot path the hosts, apps and upstream ride every tick.
+func TestAppendFrameZeroAllocs(t *testing.T) {
+	payload := make([]byte, 1400)
+	buf := make([]byte, 0, 2048)
+	if allocs := testing.AllocsPerRun(200, func() {
+		buf = AppendTCPFrame(buf[:0], testSrcMAC, testDstMAC, testSrcIP, testDstIP,
+			40000, 443, TCPAck, 9, 9, payload)
+	}); allocs != 0 {
+		t.Errorf("AppendTCPFrame allocs/op = %g, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		buf = AppendUDPFrame(buf[:0], testSrcMAC, testDstMAC, testSrcIP, testDstIP,
+			5060, 5060, payload)
+	}); allocs != 0 {
+		t.Errorf("AppendUDPFrame allocs/op = %g, want 0", allocs)
+	}
+}
+
+// Reusing one Decoded across frames must not allocate: this pins the
+// per-frame receive path in the datapath and upstream loops.
+func TestDecodeReuseZeroAllocs(t *testing.T) {
+	frame := AppendTCPFrame(nil, testSrcMAC, testDstMAC, testSrcIP, testDstIP,
+		40000, 80, TCPAck, 0, 0, make([]byte, 512))
+	var d Decoded
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := d.Decode(frame); err != nil {
+			panic(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Decode allocs/op = %g, want 0", allocs)
+	}
+}
+
+func TestFrameBatch(t *testing.T) {
+	var fb FrameBatch
+	if fb.Len() != 0 || fb.TotalBytes() != 0 {
+		t.Fatal("fresh batch not empty")
+	}
+	// Commit three frames, forcing buffer growth along the way: earlier
+	// frames must remain addressable afterwards.
+	frames := [][]byte{
+		AppendUDPFrame(nil, testSrcMAC, testDstMAC, testSrcIP, testDstIP, 1, 2, []byte("a")),
+		AppendUDPFrame(nil, testSrcMAC, testDstMAC, testSrcIP, testDstIP, 3, 4, make([]byte, 4000)),
+		AppendUDPFrame(nil, testSrcMAC, testDstMAC, testSrcIP, testDstIP, 5, 6, []byte("ccc")),
+	}
+	total := 0
+	for _, f := range frames {
+		fb.Commit(append(fb.Buf(), f...))
+		total += len(f)
+	}
+	if fb.Len() != 3 || fb.TotalBytes() != total {
+		t.Fatalf("Len=%d TotalBytes=%d want 3/%d", fb.Len(), fb.TotalBytes(), total)
+	}
+	for i, f := range frames {
+		if !bytes.Equal(fb.Frame(i), f) {
+			t.Errorf("frame %d corrupted", i)
+		}
+	}
+	// Uncommitted bytes must not surface as frames.
+	_ = AppendUDPFrame(fb.Buf(), testSrcMAC, testDstMAC, testSrcIP, testDstIP, 7, 8, nil)
+	if fb.Len() != 3 {
+		t.Errorf("uncommitted build changed Len to %d", fb.Len())
+	}
+	fb.Reset()
+	if fb.Len() != 0 || fb.TotalBytes() != 0 {
+		t.Error("Reset did not empty the batch")
+	}
+}
+
+// A warmed batch refilled each tick must not allocate.
+func TestFrameBatchZeroAllocsSteadyState(t *testing.T) {
+	var fb FrameBatch
+	payload := make([]byte, 256)
+	fill := func() {
+		fb.Reset()
+		for i := 0; i < 16; i++ {
+			fb.Commit(AppendUDPFrame(fb.Buf(), testSrcMAC, testDstMAC, testSrcIP, testDstIP,
+				uint16(1000+i), 53, payload))
+		}
+	}
+	fill() // warm the backing buffer
+	if allocs := testing.AllocsPerRun(100, fill); allocs != 0 {
+		t.Errorf("steady-state batch fill allocs/op = %g, want 0", allocs)
+	}
+}

@@ -53,8 +53,10 @@ func (e *Ethernet) HeaderLen() int {
 	return EthernetHeaderLen
 }
 
-// Serialize appends the encoded frame (header + payload) to b.
-func (e *Ethernet) Serialize(b []byte) []byte {
+// AppendTo appends the encoded frame (header + payload) to b and returns
+// the extended buffer. Hot paths pass a reused scratch buffer so
+// steady-state serialization does not allocate.
+func (e *Ethernet) AppendTo(b []byte) []byte {
 	b = append(b, e.Dst[:]...)
 	b = append(b, e.Src[:]...)
 	if e.Tagged {
@@ -68,5 +70,5 @@ func (e *Ethernet) Serialize(b []byte) []byte {
 
 // Bytes returns the encoded frame as a fresh slice.
 func (e *Ethernet) Bytes() []byte {
-	return e.Serialize(make([]byte, 0, e.HeaderLen()+len(e.Payload)))
+	return e.AppendTo(make([]byte, 0, e.HeaderLen()+len(e.Payload)))
 }

@@ -67,8 +67,9 @@ func (ip *IPv4) HeaderLen() int {
 	return IPv4HeaderLen + opt
 }
 
-// Serialize appends the encoded packet to b, computing the header checksum.
-func (ip *IPv4) Serialize(b []byte) []byte {
+// AppendTo appends the encoded packet to b, computing the header checksum,
+// and returns the extended buffer.
+func (ip *IPv4) AppendTo(b []byte) []byte {
 	hl := ip.HeaderLen()
 	total := hl + len(ip.Payload)
 	start := len(b)
@@ -91,7 +92,7 @@ func (ip *IPv4) Serialize(b []byte) []byte {
 
 // Bytes returns the encoded packet as a fresh slice.
 func (ip *IPv4) Bytes() []byte {
-	return ip.Serialize(make([]byte, 0, ip.HeaderLen()+len(ip.Payload)))
+	return ip.AppendTo(make([]byte, 0, ip.HeaderLen()+len(ip.Payload)))
 }
 
 // UDPHeaderLen is the length of a UDP header.
@@ -124,9 +125,9 @@ func (u *UDP) DecodeFromBytes(data []byte) error {
 	return nil
 }
 
-// Serialize appends the encoded datagram to b with a checksum computed over
-// the pseudo-header for src/dst.
-func (u *UDP) Serialize(b []byte, src, dst IP4) []byte {
+// AppendTo appends the encoded datagram to b with a checksum computed over
+// the pseudo-header for src/dst, and returns the extended buffer.
+func (u *UDP) AppendTo(b []byte, src, dst IP4) []byte {
 	length := UDPHeaderLen + len(u.Payload)
 	start := len(b)
 	b = binary.BigEndian.AppendUint16(b, u.SrcPort)
@@ -144,7 +145,7 @@ func (u *UDP) Serialize(b []byte, src, dst IP4) []byte {
 
 // Bytes returns the encoded datagram as a fresh slice.
 func (u *UDP) Bytes(src, dst IP4) []byte {
-	return u.Serialize(make([]byte, 0, UDPHeaderLen+len(u.Payload)), src, dst)
+	return u.AppendTo(make([]byte, 0, UDPHeaderLen+len(u.Payload)), src, dst)
 }
 
 // TCPHeaderLen is the length of a TCP header without options.
@@ -202,9 +203,9 @@ func (t *TCP) HeaderLen() int {
 	return TCPHeaderLen + opt
 }
 
-// Serialize appends the encoded segment to b with a checksum computed over
-// the pseudo-header for src/dst.
-func (t *TCP) Serialize(b []byte, src, dst IP4) []byte {
+// AppendTo appends the encoded segment to b with a checksum computed over
+// the pseudo-header for src/dst, and returns the extended buffer.
+func (t *TCP) AppendTo(b []byte, src, dst IP4) []byte {
 	hl := t.HeaderLen()
 	start := len(b)
 	b = binary.BigEndian.AppendUint16(b, t.SrcPort)
@@ -227,7 +228,7 @@ func (t *TCP) Serialize(b []byte, src, dst IP4) []byte {
 
 // Bytes returns the encoded segment as a fresh slice.
 func (t *TCP) Bytes(src, dst IP4) []byte {
-	return t.Serialize(make([]byte, 0, t.HeaderLen()+len(t.Payload)), src, dst)
+	return t.AppendTo(make([]byte, 0, t.HeaderLen()+len(t.Payload)), src, dst)
 }
 
 // ICMP message types.
@@ -265,8 +266,9 @@ func (c *ICMP) DecodeFromBytes(data []byte) error {
 	return nil
 }
 
-// Serialize appends the encoded message to b, computing the checksum.
-func (c *ICMP) Serialize(b []byte) []byte {
+// AppendTo appends the encoded message to b, computing the checksum, and
+// returns the extended buffer.
+func (c *ICMP) AppendTo(b []byte) []byte {
 	start := len(b)
 	b = append(b, c.Type, c.Code, 0, 0)
 	b = binary.BigEndian.AppendUint16(b, c.ID)
@@ -279,5 +281,5 @@ func (c *ICMP) Serialize(b []byte) []byte {
 
 // Bytes returns the encoded message as a fresh slice.
 func (c *ICMP) Bytes() []byte {
-	return c.Serialize(make([]byte, 0, ICMPHeaderLen+len(c.Payload)))
+	return c.AppendTo(make([]byte, 0, ICMPHeaderLen+len(c.Payload)))
 }

@@ -548,6 +548,6 @@ func BenchmarkSerializeTCPFrame(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		buf = tcp.Serialize(buf[:0], src, dst)
+		buf = tcp.AppendTo(buf[:0], src, dst)
 	}
 }
