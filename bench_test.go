@@ -565,9 +565,22 @@ func benchFleetStep(b *testing.B, homes int, kind core.TransportKind) {
 	}
 }
 
-// BenchmarkFleetAggregate measures the fleet-wide hwdb fold at 8 homes
-// with traffic already rung up: the batched-read path's cost.
+// BenchmarkFleetAggregate compares the cost of taking a fleet-wide delta
+// snapshot after one interval of traffic, live vs on-demand, at 8 homes.
+// On the live path the fold already happened inside Step (the telemetry
+// hub streams rows as they land), so Aggregate only swaps the per-home
+// period counters; the on-demand baseline pays the PR-1 cursor scan over
+// every home's rings inside the timed region.
 func BenchmarkFleetAggregate(b *testing.B) {
+	b.Run("path=live", func(b *testing.B) {
+		benchFleetAggregate(b, func(f *fleet.Fleet) { f.Aggregate() })
+	})
+	b.Run("path=ondemand", func(b *testing.B) {
+		benchFleetAggregate(b, func(f *fleet.Fleet) { f.FoldOnDemand() })
+	})
+}
+
+func benchFleetAggregate(b *testing.B, read func(*fleet.Fleet)) {
 	f := fleet.New(fleet.Config{Clock: clock.NewSimulated(), Seed: 5})
 	b.Cleanup(f.Stop)
 	if _, err := f.AddHomes(8); err != nil {
@@ -588,15 +601,67 @@ func BenchmarkFleetAggregate(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		// Tail is a consuming cursor read: ring up one fresh interval of
-		// rows (untimed) before each fold, or every iteration after the
-		// first would measure an empty fold.
+		// Both paths read deltas: ring up one fresh interval of rows
+		// (untimed) before each snapshot, or every iteration after the
+		// first would measure an empty one.
 		b.StopTimer()
 		if err := f.Step(0.25); err != nil {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		f.Aggregate()
+		read(f)
+	}
+}
+
+// BenchmarkFleetTelemetry is the headline comparison for the telemetry
+// subsystem: the latency of reading the current fleet-wide state, live
+// (hub-maintained Totals: one mutex and a struct copy, no ring touched)
+// vs the on-demand fold (O(homes x tables) cursor reads even when
+// nothing changed), as the fleet grows 1 -> 8 -> 64 homes. The live read
+// should be flat across fleet size and allocation-free.
+func BenchmarkFleetTelemetry(b *testing.B) {
+	for _, homes := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("read=live/homes=%d", homes), func(b *testing.B) {
+			benchFleetTelemetry(b, homes, true)
+		})
+		b.Run(fmt.Sprintf("read=ondemand/homes=%d", homes), func(b *testing.B) {
+			benchFleetTelemetry(b, homes, false)
+		})
+	}
+}
+
+func benchFleetTelemetry(b *testing.B, homes int, live bool) {
+	f := fleet.New(fleet.Config{Clock: clock.NewSimulated(), Seed: 5})
+	b.Cleanup(f.Stop)
+	if _, err := f.AddHomes(homes); err != nil {
+		b.Fatal(err)
+	}
+	for _, h := range f.Homes() {
+		host, err := h.Join("", false, netsim.Pos{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		host.AddApp(netsim.NewApp(netsim.AppWeb, "203.0.113.10", 60_000))
+	}
+	for i := 0; i < 4; i++ {
+		if err := f.Step(0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if live && f.Totals().Flows == 0 {
+		b.Fatal("no live traffic to read")
+	}
+	f.FoldOnDemand() // consume the backlog so ondemand measures the scan floor
+	b.ReportAllocs()
+	b.ResetTimer()
+	if live {
+		for i := 0; i < b.N; i++ {
+			_ = f.Totals()
+		}
+	} else {
+		for i := 0; i < b.N; i++ {
+			_ = f.FoldOnDemand()
+		}
 	}
 }
 

@@ -7,9 +7,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"strings"
 	"time"
@@ -42,6 +44,13 @@ func main() {
 		for {
 			push, err := cli.WaitPush(time.Minute)
 			if err != nil {
+				// Idle subscriptions are silent by design (the server
+				// skips pushes when nothing changed), so a wait timeout
+				// is normal: keep listening. Anything else is fatal.
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					continue
+				}
 				log.Fatal(err)
 			}
 			fmt.Print(push.Result.Text())

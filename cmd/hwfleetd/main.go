@@ -5,10 +5,16 @@
 // FleetStats view.
 //
 //	hwfleetd [-homes 64] [-hosts 3] [-shards 8] [-duration 10] [-scenario fleet.json]
+//	         [-stats 127.0.0.1:0] [-linger 30s]
 //
 // Flags override the scenario (default or loaded from -scenario JSON).
 // On completion it prints the run report plus the busiest homes from the
 // aggregated view, and with -cql executes one more query against it.
+//
+// With -stats, a streaming telemetry endpoint serves the live fleet view
+// over UDP for the whole run (HWDB/1 framing: EXEC CQL, STATS, and FLEET
+// subscriptions pushing per-home deltas); -linger keeps the process (and
+// the endpoint) alive after the run so clients can keep querying.
 package main
 
 import (
@@ -16,8 +22,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -29,6 +37,8 @@ func main() {
 	churn := flag.Float64("churn", -1, "override: churn events per home per simulated minute")
 	seed := flag.Int64("seed", 0, "override: fleet seed")
 	cql := flag.String("cql", "", "extra CQL query to run against the FleetStats view")
+	stats := flag.String("stats", "", "serve the streaming telemetry endpoint on this UDP address")
+	linger := flag.Duration("linger", 0, "keep serving telemetry this long after the run")
 	quiet := flag.Bool("q", false, "suppress progress lines")
 	flag.Parse()
 
@@ -68,6 +78,16 @@ func main() {
 	if !*quiet {
 		runner.Logf = log.Printf
 	}
+	var statsSrv *telemetry.Server
+	if *stats != "" {
+		runner.OnFleet = func(f *fleet.Fleet) {
+			statsSrv = telemetry.NewServer(f.Telemetry())
+			if err := statsSrv.Serve(*stats); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("telemetry endpoint on udp://%s (EXEC | STATS | SUBSCRIBE FLEET EVERY ...)", statsSrv.Addr())
+		}
+	}
 
 	rep, err := runner.Run()
 	if err != nil {
@@ -100,5 +120,16 @@ func main() {
 	if rep.Totals.Flows == 0 {
 		fmt.Fprintln(os.Stderr, "warning: no flows folded — scenario too short?")
 		os.Exit(1)
+	}
+	if statsSrv != nil {
+		tel := runner.Fleet().Telemetry()
+		r := tel.FleetRate()
+		fmt.Printf("telemetry  %s  (fleet rate %.0f B/s, %.1f pkt/s at shutdown)\n",
+			statsSrv.Addr(), r.BytesPerSec, r.PacketsPerSec)
+		if *linger > 0 {
+			log.Printf("lingering %v for telemetry clients...", *linger)
+			time.Sleep(*linger)
+		}
+		_ = statsSrv.Close()
 	}
 }

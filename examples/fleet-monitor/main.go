@@ -1,0 +1,111 @@
+// Fleet-monitor: the paper's bandwidth display (Figure 1) scaled from
+// one home to a fleet — the end-to-end proof of the telemetry layer. An
+// 8-home fleet runs mixed traffic; every hwdb insert streams through the
+// push-based hub into the live folder, so the per-home board below is
+// read instantly (no fold pass) after each step. A remote monitor
+// subscribes over UDP — the same HWDB/1 client the paper's iPhone app
+// spoke — and receives per-home DELTA pushes: only homes whose counters
+// moved, nothing when the fleet idles.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	homework "repro"
+)
+
+func main() {
+	clk := homework.NewSimulatedClock()
+	f := homework.NewFleet(homework.FleetConfig{Clock: clk, Seed: 9})
+	defer f.Stop()
+
+	// Eight homes, two devices each, with the app mix skewed so the
+	// board has a visible heavy hitter.
+	apps := []struct {
+		kind homework.AppKind
+		name string
+		rate int
+	}{
+		{homework.AppVideo, "svc-video.example", 250_000},
+		{homework.AppWeb, "svc-web.example", 40_000},
+		{homework.AppVoIP, "svc-voip.example", 12_000},
+		{homework.AppIoT, "svc-iot.example", 2_000},
+	}
+	homes, err := f.AddHomes(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range homes {
+		for _, a := range apps {
+			h.Router.Upstream.AddZone(a.name, homework.IP4{203, 0, 113, byte(10 + h.ID)})
+		}
+		for d := 0; d < 2; d++ {
+			host, err := h.Join("", d == 0, homework.Pos{X: 2 + float64(d)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			a := apps[(int(h.ID)+d)%len(apps)]
+			host.AddApp(homework.NewApp(a.kind, a.name, a.rate))
+		}
+	}
+
+	// The streaming endpoint plus a remote subscriber: per-home deltas
+	// every simulated second, pushed only when something changed.
+	srv, err := homework.ServeFleetTelemetry(f, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := homework.DialDB(srv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+	subID, err := cli.Subscribe("FLEET EVERY 1 SECONDS")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tel := f.Telemetry()
+	for second := 1; second <= 4; second++ {
+		for i := 0; i < 4; i++ {
+			if err := f.Step(0.25); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// The live board: read straight off the folder, no fold pass.
+		tot := f.Totals()
+		fmt.Printf("--- t=%ds  homes=%d hosts=%d  %d flows  %d bytes  fleet %.0f B/s ---\n",
+			second, tot.Homes, tot.Hosts, tot.Flows, tot.Bytes,
+			tel.FleetRate().BytesPerSec)
+		for _, ht := range tel.HomeTotals() {
+			if ht.Rate.BytesPerSec == 0 {
+				continue
+			}
+			fmt.Printf("  home-%-2d %8.0f B/s  |", ht.Home, ht.Rate.BytesPerSec)
+			for _, dr := range tel.DeviceRates(ht.Home) {
+				fmt.Printf("  %s %.0f B/s", dr.MAC, dr.BytesPerSec)
+			}
+			fmt.Println()
+		}
+	}
+
+	// What the remote monitor saw: one delta push (per-home rows, only
+	// homes that moved since its last push).
+	push, err := cli.WaitPush(5 * time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nremote subscriber (sub %d) received delta push over UDP:\n%s",
+		push.SubID, push.Result.Text())
+	_ = subID
+
+	// And the same endpoint answers fleet-wide CQL against the live view.
+	res, err := cli.Exec("SELECT home, sum(bytes) AS bytes FROM FleetStats GROUP BY home")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfleet view over EXEC (SELECT home, sum(bytes) ... GROUP BY home):\n%s", res.Text())
+}

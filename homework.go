@@ -32,6 +32,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/packet"
 	"repro/internal/policy"
+	"repro/internal/telemetry"
 	"repro/internal/ui"
 	"repro/internal/usbmon"
 )
@@ -192,6 +193,31 @@ func RunFleetScenario(s FleetScenario, logf func(string, ...any)) (*FleetReport,
 	rep, err := r.Run()
 	r.Close()
 	return rep, err
+}
+
+// FleetTelemetry is the live fleet-wide telemetry folder: continuously
+// maintained totals, windowed per-home and per-device rates, and the
+// FleetStats view database, all readable without a fold pass. Reach it
+// via Fleet.Telemetry().
+type FleetTelemetry = telemetry.Folder
+
+// FleetRate is a windowed byte/packet throughput estimate.
+type FleetRate = telemetry.Rate
+
+// FleetTelemetryServer streams fleet-wide aggregates over UDP: CQL EXEC
+// against the FleetStats view, a STATS snapshot verb, and FLEET
+// subscriptions that push per-home deltas only when counters move. It
+// speaks the HWDB/1 framing, so DialDB clients drive it unchanged.
+type FleetTelemetryServer = telemetry.Server
+
+// ServeFleetTelemetry starts a streaming telemetry endpoint for a fleet
+// on addr (e.g. "127.0.0.1:0"); close it with its Close method.
+func ServeFleetTelemetry(f *Fleet, addr string) (*FleetTelemetryServer, error) {
+	srv := telemetry.NewServer(f.Telemetry())
+	if err := srv.Serve(addr); err != nil {
+		return nil, err
+	}
+	return srv, nil
 }
 
 // Clock abstracts time; SimulatedClock is deterministic for tests.

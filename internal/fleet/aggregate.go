@@ -4,44 +4,47 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/clock"
 	"repro/internal/hwdb"
+	"repro/internal/telemetry"
 )
 
-// TableFleetStats is the fleet-wide stats view: one row per home per
-// fold, in an hwdb of its own so the same CQL the per-home interfaces
-// speak works across the whole fleet.
-const TableFleetStats = "FleetStats"
+// TableFleetStats is the fleet-wide stats view: one row per active home
+// per commit (a commit follows every fleet step), in an hwdb of its own
+// so the same CQL the per-home interfaces speak works across the whole
+// fleet. The view is maintained continuously by the telemetry folder;
+// nothing folds on demand.
+const TableFleetStats = telemetry.ViewTable
 
-// DefaultStatsRing sizes the FleetStats ring: at one fold a second it
+// DefaultStatsRing sizes the FleetStats ring: at one commit a second it
 // holds over four minutes of history for a 256-home fleet.
-const DefaultStatsRing = 65536
+const DefaultStatsRing = telemetry.DefaultViewRing
 
-// HomeStats is one home's delta since the previous fold.
+// HomeStats is one home's delta since the previous Aggregate call.
 type HomeStats struct {
 	Home     uint64
-	Hosts    int    // hosts attached to the home network at fold time
+	Hosts    int    // hosts attached to the home network at snapshot time
 	Devices  int    // distinct device MACs with new flow observations
-	Flows    int    // new flow observations folded
+	Flows    int    // new flow observations
 	Packets  uint64 // packets in those observations
 	Bytes    uint64 // bytes in those observations
-	Links    int    // new link-layer observations folded
+	Links    int    // new link-layer observations
 	MeanRSSI float64
-	Lost     uint64 // ring-wrapped rows the fold could not read
+	Lost     uint64 // ring-wrapped rows the hub could not read
 }
 
-// FleetSnapshot is what one fold saw across every live home.
+// FleetSnapshot is the fleet-wide delta one Aggregate call observed.
 type FleetSnapshot struct {
 	When  time.Time
 	Homes []HomeStats // ascending home ID
 	FleetTotals
 }
 
-// FleetTotals are cumulative fleet-wide counters.
+// FleetTotals are cumulative fleet-wide counters, maintained live by the
+// telemetry folder: reading them never scans a home's rings.
 type FleetTotals struct {
 	Folds   uint64
-	Homes   int // live homes at the latest fold
-	Hosts   int // hosts across the fleet at the latest fold
+	Homes   int // live homes
+	Hosts   int // hosts across the fleet
 	Flows   uint64
 	Packets uint64
 	Bytes   uint64
@@ -49,160 +52,111 @@ type FleetTotals struct {
 	Lost    uint64
 }
 
+// snapshotFromPeriod builds an Aggregate result from the folder's period
+// deltas. As in the PR-1 fold, the embedded Flows/Packets/Bytes/Links/
+// Lost are this period's delta while Folds/Homes/Hosts are current.
+func snapshotFromPeriod(when time.Time, ps []telemetry.PeriodStats, folds uint64) FleetSnapshot {
+	snap := FleetSnapshot{When: when}
+	snap.FleetTotals.Folds = folds
+	for _, p := range ps {
+		snap.Homes = append(snap.Homes, HomeStats{
+			Home: p.Home, Hosts: p.Hosts, Devices: p.Devices,
+			Flows: p.Flows, Packets: p.Packets, Bytes: p.Bytes,
+			Links: p.Links, MeanRSSI: p.MeanRSSI, Lost: p.Lost,
+		})
+		snap.FleetTotals.Hosts += p.Hosts
+		snap.Flows += uint64(p.Flows)
+		snap.Packets += p.Packets
+		snap.Bytes += p.Bytes
+		snap.Links += uint64(p.Links)
+		snap.Lost += p.Lost
+	}
+	snap.FleetTotals.Homes = len(ps)
+	return snap
+}
+
+// ---------------------------------------------------- on-demand baseline
+
 // cursor marks how many of a home's ring inserts previous folds consumed.
 type cursor struct {
 	flows uint64
 	links uint64
 }
 
-// aggregator folds per-home hwdb tables into the fleet-wide view. Reads
-// are batched: one cursor read (Table.Tail) per table per home per fold —
-// a single lock acquisition each — instead of per-row or per-device
-// queries.
-type aggregator struct {
-	db *hwdb.DB
-
-	// foldMu serializes whole folds: cursor reads and writes must be
-	// atomic across a fold or two overlapping Aggregate calls would
-	// consume (and double-count) the same Tail rows.
-	foldMu sync.Mutex
-
+// onDemand is the PR-1 fold path kept as a measured baseline: a full
+// cursor scan over every home's Flows and Links rings per call. It reads
+// with its own cursors (hwdb.Table.Tail does not consume), so running it
+// never perturbs the live telemetry path it is compared against.
+type onDemand struct {
 	mu      sync.Mutex
 	cursors map[uint64]cursor
-	sums    FleetTotals
 }
 
-func newAggregator(clk clock.Clock, ringSize int) *aggregator {
-	if ringSize <= 0 {
-		ringSize = DefaultStatsRing
-	}
-	db := hwdb.New(clk)
-	_, err := db.CreateTable(TableFleetStats, hwdb.NewSchema(
-		hwdb.Column{Name: "home", Type: hwdb.TInt},
-		hwdb.Column{Name: "hosts", Type: hwdb.TInt},
-		hwdb.Column{Name: "devices", Type: hwdb.TInt},
-		hwdb.Column{Name: "flows", Type: hwdb.TInt},
-		hwdb.Column{Name: "packets", Type: hwdb.TInt},
-		hwdb.Column{Name: "bytes", Type: hwdb.TInt},
-		hwdb.Column{Name: "links", Type: hwdb.TInt},
-		hwdb.Column{Name: "rssi", Type: hwdb.TReal},
-	), ringSize)
-	if err != nil {
-		panic(err) // fresh DB, fixed name: cannot collide
-	}
-	return &aggregator{db: db, cursors: make(map[uint64]cursor)}
+func newOnDemand() *onDemand {
+	return &onDemand{cursors: make(map[uint64]cursor)}
 }
 
-// DB exposes the fleet-wide view for CQL queries.
-func (a *aggregator) DB() *hwdb.DB { return a.db }
-
-// fold reads every home's Flows and Links rings forward from the last
-// fold's cursor, reduces them to per-home deltas, appends one FleetStats
-// row per active home, and returns the snapshot. Idle homes still report
-// their host count in the snapshot but insert no row (the view records
-// activity, not liveness).
-func (a *aggregator) fold(homes []*Home) FleetSnapshot {
-	a.foldMu.Lock()
-	defer a.foldMu.Unlock()
-	snap := FleetSnapshot{When: a.db.Clock().Now()}
-	var totalHosts int
+// fold reads every home's unread rows forward from this baseline's own
+// cursors and reduces them to per-home deltas: O(homes x tables) lock
+// acquisitions per call even when nothing changed.
+func (a *onDemand) fold(homes []*Home, when time.Time) FleetSnapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	snap := FleetSnapshot{When: when}
 	for _, h := range homes {
-		hs, cur := a.foldHome(h)
-		totalHosts += hs.Hosts
+		cur := a.cursors[h.ID]
+		hs := HomeStats{Home: h.ID, Hosts: h.Router.Net.HostCount()}
+		db := h.Router.DB
+
+		if t, ok := db.Table(hwdb.TableFlows); ok {
+			schema := t.Schema()
+			macIdx, _ := schema.Index("mac")
+			pktIdx, _ := schema.Index("packets")
+			bytIdx, _ := schema.Index("bytes")
+			rows, inserts, lost := t.Tail(cur.flows)
+			cur.flows = inserts
+			hs.Lost += lost
+			devices := make(map[int64]struct{})
+			for _, row := range rows {
+				hs.Flows++
+				hs.Packets += uint64(row.Vals[pktIdx].Int)
+				hs.Bytes += uint64(row.Vals[bytIdx].Int)
+				devices[row.Vals[macIdx].Int] = struct{}{}
+			}
+			hs.Devices = len(devices)
+		}
+		if t, ok := db.Table(hwdb.TableLinks); ok {
+			schema := t.Schema()
+			rssiIdx, _ := schema.Index("rssi")
+			rows, inserts, lost := t.Tail(cur.links)
+			cur.links = inserts
+			hs.Lost += lost
+			var rssiSum float64
+			for _, row := range rows {
+				hs.Links++
+				rssiSum += row.Vals[rssiIdx].AsFloat()
+			}
+			if hs.Links > 0 {
+				hs.MeanRSSI = rssiSum / float64(hs.Links)
+			}
+		}
+		a.cursors[h.ID] = cur
+
 		snap.Homes = append(snap.Homes, hs)
+		snap.FleetTotals.Hosts += hs.Hosts
 		snap.Flows += uint64(hs.Flows)
 		snap.Packets += hs.Packets
 		snap.Bytes += hs.Bytes
 		snap.Links += uint64(hs.Links)
 		snap.Lost += hs.Lost
-
-		a.mu.Lock()
-		a.cursors[h.ID] = cur
-		a.mu.Unlock()
-
-		if hs.Flows > 0 || hs.Links > 0 {
-			_ = a.db.Insert(TableFleetStats,
-				hwdb.Int64(int64(hs.Home)),
-				hwdb.Int64(int64(hs.Hosts)),
-				hwdb.Int64(int64(hs.Devices)),
-				hwdb.Int64(int64(hs.Flows)),
-				hwdb.Int64(int64(hs.Packets)),
-				hwdb.Int64(int64(hs.Bytes)),
-				hwdb.Int64(int64(hs.Links)),
-				hwdb.Float(hs.MeanRSSI))
-		}
 	}
-
-	a.mu.Lock()
-	a.sums.Folds++
-	a.sums.Homes = len(homes)
-	a.sums.Hosts = totalHosts
-	a.sums.Flows += snap.Flows
-	a.sums.Packets += snap.Packets
-	a.sums.Bytes += snap.Bytes
-	a.sums.Links += snap.Links
-	a.sums.Lost += snap.Lost
-	snap.FleetTotals.Folds = a.sums.Folds
 	snap.FleetTotals.Homes = len(homes)
-	snap.FleetTotals.Hosts = totalHosts
-	a.mu.Unlock()
 	return snap
 }
 
-// foldHome reduces one home's unread rows.
-func (a *aggregator) foldHome(h *Home) (HomeStats, cursor) {
-	a.mu.Lock()
-	cur := a.cursors[h.ID]
-	a.mu.Unlock()
-
-	hs := HomeStats{Home: h.ID, Hosts: len(h.Router.Net.Hosts())}
-	db := h.Router.DB
-
-	if t, ok := db.Table(hwdb.TableFlows); ok {
-		schema := t.Schema()
-		macIdx, _ := schema.Index("mac")
-		pktIdx, _ := schema.Index("packets")
-		bytIdx, _ := schema.Index("bytes")
-		rows, inserts, lost := t.Tail(cur.flows)
-		cur.flows = inserts
-		hs.Lost += lost
-		devices := make(map[int64]struct{})
-		for _, row := range rows {
-			hs.Flows++
-			hs.Packets += uint64(row.Vals[pktIdx].Int)
-			hs.Bytes += uint64(row.Vals[bytIdx].Int)
-			devices[row.Vals[macIdx].Int] = struct{}{}
-		}
-		hs.Devices = len(devices)
-	}
-	if t, ok := db.Table(hwdb.TableLinks); ok {
-		schema := t.Schema()
-		rssiIdx, _ := schema.Index("rssi")
-		rows, inserts, lost := t.Tail(cur.links)
-		cur.links = inserts
-		hs.Lost += lost
-		var rssiSum float64
-		for _, row := range rows {
-			hs.Links++
-			rssiSum += row.Vals[rssiIdx].AsFloat()
-		}
-		if hs.Links > 0 {
-			hs.MeanRSSI = rssiSum / float64(hs.Links)
-		}
-	}
-	return hs, cur
-}
-
-// forget drops a removed home's cursor.
-func (a *aggregator) forget(id uint64) {
+// forget drops a removed home's baseline cursor.
+func (a *onDemand) forget(id uint64) {
 	a.mu.Lock()
 	delete(a.cursors, id)
 	a.mu.Unlock()
-}
-
-// totals returns the cumulative counters.
-func (a *aggregator) totals() FleetTotals {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.sums
 }

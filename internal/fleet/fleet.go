@@ -3,13 +3,14 @@
 // and the ROADMAP's production-scale, million-user deployment. Each home
 // is a full core.Router — its own datapath, NOX controller modules, hwdb
 // and simulated network — and the fleet drives them through a sharded
-// worker pool with deterministic per-home ordering, folds every home's
-// hwdb link/flow tables into a fleet-wide FleetStats view, and runs
-// declarative scenarios (home count, hosts per home, app mix, churn) so
-// diverse workloads are one config away. Fleet homes default to the
-// in-process control transport (core.TransportInProcess): with controller
-// and datapath co-resident there is no reason to pay loopback-TCP framing
-// per home, and no per-home socket pair to exhaust descriptors at scale.
+// worker pool with deterministic per-home ordering, streams every home's
+// hwdb link/flow/lease tables through the push-based telemetry hub into a
+// continuously-live fleet-wide FleetStats view, and runs declarative
+// scenarios (home count, hosts per home, app mix, churn) so diverse
+// workloads are one config away. Fleet homes default to the in-process
+// control transport (core.TransportInProcess): with controller and
+// datapath co-resident there is no reason to pay loopback-TCP framing per
+// home, and no per-home socket pair to exhaust descriptors at scale.
 package fleet
 
 import (
@@ -19,6 +20,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -26,6 +28,7 @@ import (
 	"repro/internal/hwdb"
 	"repro/internal/netsim"
 	"repro/internal/packet"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes a fleet.
@@ -69,9 +72,13 @@ type Home struct {
 
 // Fleet instantiates and drives N independent Homework homes.
 type Fleet struct {
-	cfg  Config
-	pool *pool
-	agg  *aggregator
+	cfg    Config
+	pool   *pool
+	hub    *telemetry.Hub
+	folder *telemetry.Folder
+	base   *onDemand // deprecated fold baseline (benchmark comparisons)
+	clk    clock.Clock
+	folds  atomic.Uint64
 
 	mu     sync.Mutex
 	homes  map[uint64]*Home
@@ -103,11 +110,18 @@ func New(cfg Config) *Fleet {
 	if clk == nil {
 		clk = clock.Real{}
 	}
+	// The hub runs manual: Step flushes it after every barrier, so
+	// delivery is deterministic under a simulated clock and there is no
+	// background goroutine racing the shards.
+	hub := telemetry.NewHub(telemetry.HubConfig{Manual: true})
 	return &Fleet{
-		cfg:   cfg,
-		pool:  newPool(cfg.Shards),
-		agg:   newAggregator(clk, cfg.RingSize),
-		homes: make(map[uint64]*Home),
+		cfg:    cfg,
+		pool:   newPool(cfg.Shards),
+		hub:    hub,
+		folder: telemetry.NewFolder(hub, telemetry.FolderConfig{Clock: clk, ViewRing: cfg.RingSize}),
+		base:   newOnDemand(),
+		clk:    clk,
+		homes:  make(map[uint64]*Home),
 	}
 }
 
@@ -175,6 +189,15 @@ func (f *Fleet) AddHome() (*Home, error) {
 	f.homes[id] = h
 	f.planDirty = true
 	f.mu.Unlock()
+
+	// Feed the home's measurement tables into the telemetry hub: from
+	// here on, every hwdb insert streams into the live fleet view.
+	f.folder.AddHome(id, rt.Net.HostCount)
+	for _, name := range []string{hwdb.TableFlows, hwdb.TableLinks, hwdb.TableLeases} {
+		if t, ok := rt.DB.Table(name); ok {
+			f.hub.Watch(telemetry.SourceID{Home: id, Table: name}, t)
+		}
+	}
 	return h, nil
 }
 
@@ -232,8 +255,11 @@ func (f *Fleet) orderedLocked() []*Home {
 	return out
 }
 
-// RemoveHome tears one home down. Its already-folded history stays in the
-// fleet stats view; its aggregation cursor is dropped.
+// RemoveHome tears one home down. The router stops first, then the hub
+// drains whatever its tables still held (so the rows land in the fleet
+// cumulative totals before the sources retire), and only then is the
+// home's per-home telemetry state dropped. Its contribution to the fleet
+// totals and its committed view rows remain.
 func (f *Fleet) RemoveHome(id uint64) bool {
 	f.mu.Lock()
 	h, ok := f.homes[id]
@@ -245,8 +271,12 @@ func (f *Fleet) RemoveHome(id uint64) bool {
 	if !ok {
 		return false
 	}
-	f.agg.forget(id)
 	h.Router.Stop()
+	for _, name := range []string{hwdb.TableFlows, hwdb.TableLinks, hwdb.TableLeases} {
+		f.hub.Unwatch(telemetry.SourceID{Home: id, Table: name})
+	}
+	f.folder.RemoveHome(id)
+	f.base.forget(id)
 	return true
 }
 
@@ -302,25 +332,80 @@ func (f *Fleet) Step(dt float64) error {
 	if sim, ok := f.cfg.Clock.(*clock.Simulated); ok {
 		sim.Advance(time.Duration(dt * float64(time.Second)))
 	}
+	// Stream this step's measurement rows into the live fleet view: a
+	// read of Totals()/Rates()/DB() immediately after Step reflects the
+	// rows this step inserted, without any fold pass.
+	f.Sync()
 	return errors.Join(errs...)
 }
 
-// Aggregate folds every home's hwdb into the fleet-wide stats view and
-// returns the delta snapshot (see aggregator for the fold semantics).
-func (f *Fleet) Aggregate() FleetSnapshot {
-	return f.agg.fold(f.Homes())
+// Sync flushes the telemetry hub (delivering every row whose insert
+// completed) and commits one FleetStats view row per active home. Step
+// calls it after every barrier; call it directly after out-of-band
+// inserts (e.g. a manual PollMeasure) before reading the view.
+func (f *Fleet) Sync() {
+	f.hub.Flush()
+	f.folder.Commit()
 }
 
-// DB returns the fleet-wide hwdb holding the FleetStats view; query it
-// with the same CQL the per-home interfaces use, e.g.
+// Aggregate snapshots the fleet-wide delta since the previous Aggregate
+// call. Unlike the PR-1 fold it does not scan any home's rings: the
+// telemetry folder maintained the running deltas as rows streamed in, so
+// this is a Sync plus a per-home counter swap.
+func (f *Fleet) Aggregate() FleetSnapshot {
+	f.Sync()
+	folds := f.folds.Add(1)
+	ps := f.folder.TakePeriod()
+	return snapshotFromPeriod(f.clk.Now(), ps, folds)
+}
+
+// FoldOnDemand runs the PR-1 on-demand fold pass over every home's rings
+// with its own cursors and returns what it read since its last call.
+//
+// Deprecated: the live telemetry path (Aggregate/Totals/DB) replaces it;
+// it is kept as the measured baseline for BenchmarkFleetTelemetry and
+// BenchmarkFleetAggregate. It does not touch the FleetStats view.
+func (f *Fleet) FoldOnDemand() FleetSnapshot {
+	return f.base.fold(f.Homes(), f.clk.Now())
+}
+
+// DB returns the fleet-wide hwdb holding the continuously-maintained
+// FleetStats view; query it with the same CQL the per-home interfaces
+// use, e.g.
 //
 //	SELECT home, sum(bytes) FROM FleetStats GROUP BY home
-func (f *Fleet) DB() *hwdb.DB { return f.agg.DB() }
+func (f *Fleet) DB() *hwdb.DB { return f.folder.View() }
 
-// Totals returns the cumulative fleet-wide counters folded so far.
-func (f *Fleet) Totals() FleetTotals { return f.agg.totals() }
+// Totals returns the cumulative fleet-wide counters. They are maintained
+// live by the telemetry folder; the read is O(1) — no ring is scanned and
+// no home is visited. Hosts is as of the latest Sync/Step commit.
+func (f *Fleet) Totals() FleetTotals { return f.totals() }
 
-// Stop tears every home down and releases the worker pool.
+func (f *Fleet) totals() FleetTotals {
+	t := f.folder.Totals()
+	return FleetTotals{
+		Folds:   f.folds.Load(),
+		Homes:   t.Homes,
+		Hosts:   t.Hosts,
+		Flows:   t.Flows,
+		Packets: t.Packets,
+		Bytes:   t.Bytes,
+		Links:   t.Links,
+		Lost:    t.Lost,
+	}
+}
+
+// Telemetry exposes the live folder: windowed per-home and per-device
+// rates, per-home cumulative totals, and the view database. The
+// telemetry.Server streaming endpoint is built over it.
+func (f *Fleet) Telemetry() *telemetry.Folder { return f.folder }
+
+// Hub exposes the fleet's subscription hub, e.g. to attach additional
+// delta subscribers or read delivery/loss accounting.
+func (f *Fleet) Hub() *telemetry.Hub { return f.hub }
+
+// Stop tears every home down, closes the telemetry hub and releases the
+// worker pool.
 func (f *Fleet) Stop() {
 	f.mu.Lock()
 	if f.closed {
@@ -342,6 +427,7 @@ func (f *Fleet) Stop() {
 		}(h)
 	}
 	wg.Wait()
+	f.hub.Close()
 	f.pool.close()
 }
 

@@ -4,14 +4,17 @@ import (
 	"testing"
 
 	"repro/internal/clock"
+	"repro/internal/hwdb"
 	"repro/internal/netsim"
 )
 
 // TestFleetConcurrency32Homes drives a 32-home fleet across 8 shards
-// with live traffic while aggregation and home churn run concurrently
-// with stepping — the acceptance gate for `go test -race`: every home's
-// datapath, controller and hwdb plus the fleet aggregator working at
-// once.
+// with live traffic while aggregation, a streaming hub subscriber and
+// home churn run concurrently with stepping — the acceptance gate for
+// `go test -race`: every home's datapath, controller and hwdb plus the
+// telemetry hub and folder working at once. At the end, every hwdb row
+// any watched table ever held must be delivered or explicitly accounted
+// as lost: zero rows go silently missing.
 func TestFleetConcurrency32Homes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("32-home bring-up in -short mode")
@@ -35,7 +38,19 @@ func TestFleetConcurrency32Homes(t *testing.T) {
 		host.AddApp(netsim.NewApp(netsim.AppWeb, zoneFor("web"), 60_000))
 	}
 
-	// Aggregate concurrently with stepping: the folds race the homes'
+	// A deliberately tiny channel subscriber races the drain passes: its
+	// overflow must surface as accounted loss, not a hang or a race.
+	slow := f.Hub().Subscribe(1)
+	defer slow.Close()
+
+	// track the tables of every home that ever existed, including ones
+	// churned away mid-run, for the final accounting.
+	tracked := make(map[uint64]*Home)
+	for _, h := range f.Homes() {
+		tracked[h.ID] = h
+	}
+
+	// Aggregate concurrently with stepping: the snapshots race the homes'
 	// measurement planes and the steps race each other across shards.
 	aggDone := make(chan struct{})
 	go func() {
@@ -53,9 +68,11 @@ func TestFleetConcurrency32Homes(t *testing.T) {
 			if !f.RemoveHome(1) {
 				t.Fatal("remove failed")
 			}
-			if _, err := f.AddHome(); err != nil {
+			h, err := f.AddHome()
+			if err != nil {
 				t.Fatal(err)
 			}
+			tracked[h.ID] = h
 		}
 	}
 	<-aggDone
@@ -69,5 +86,44 @@ func TestFleetConcurrency32Homes(t *testing.T) {
 	}
 	if f.Steps() != 6 {
 		t.Errorf("steps = %d", f.Steps())
+	}
+
+	// Exact accounting: across every table ever watched — including the
+	// churned-away home's, drained when it was unwatched — delivered plus
+	// explicitly-lost equals total inserts.
+	var inserts uint64
+	for _, h := range tracked {
+		for _, name := range []string{hwdb.TableFlows, hwdb.TableLinks, hwdb.TableLeases} {
+			if tbl, ok := h.Router.DB.Table(name); ok {
+				ins, _ := tbl.Stats()
+				inserts += ins
+			}
+		}
+	}
+	hub := f.Hub().Stats()
+	if hub.Delivered+hub.Lost != inserts {
+		t.Errorf("unaccounted rows: delivered %d + lost %d != %d inserts",
+			hub.Delivered, hub.Lost, inserts)
+	}
+	if folder := f.Telemetry().Totals(); folder.Rows != hub.Delivered || folder.Lost != hub.Lost {
+		t.Errorf("folder saw %d rows (lost %d), hub delivered %d (lost %d)",
+			folder.Rows, folder.Lost, hub.Delivered, hub.Lost)
+	}
+
+	// The slow subscriber's books balance too: received + in-band lost +
+	// still-pending lost covers everything fanned out to it.
+	var got uint64
+drain:
+	for {
+		select {
+		case d := <-slow.C():
+			got += uint64(len(d.Rows)) + d.Lost
+		default:
+			break drain
+		}
+	}
+	if total := got + slow.PendingLost(); total != inserts {
+		t.Errorf("slow subscriber accounts %d of %d rows (dropped %d)",
+			total, inserts, slow.Dropped())
 	}
 }

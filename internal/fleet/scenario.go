@@ -144,6 +144,10 @@ type Runner struct {
 	Scenario Scenario
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
+	// OnFleet, when set, runs once the fleet is up and populated, before
+	// the step loop — the hook daemons use to attach live consumers such
+	// as the streaming telemetry endpoint (see cmd/hwfleetd -stats).
+	OnFleet func(*Fleet)
 
 	fleet   *Fleet
 	hosts   map[uint64][]*netsim.Host
@@ -202,6 +206,9 @@ func (r *Runner) Run() (rep *Report, err error) {
 		}
 	}
 	r.logf("fleet up: %d homes, %d hosts each, app mix %v", len(homes), s.HostsPerHome, s.AppMix)
+	if r.OnFleet != nil {
+		r.OnFleet(r.fleet)
+	}
 
 	// Round: 4.8/0.1 is 47.999... in float64 and must still be 48 steps.
 	steps := int(math.Round(s.DurationSec / s.StepSec))

@@ -106,7 +106,7 @@ func (s *Server) loop() {
 		if err != nil {
 			return // closed
 		}
-		seq, verb, body, perr := parseRequest(string(buf[:n]))
+		seq, verb, body, perr := ParseRequest(string(buf[:n]))
 		if perr != nil {
 			s.reply(addr, seq, "ERR "+perr.Error(), "")
 			continue
@@ -115,7 +115,10 @@ func (s *Server) loop() {
 	}
 }
 
-func parseRequest(s string) (seq uint64, verb, body string, err error) {
+// ParseRequest splits one HWDB/1 request datagram into its sequence
+// number, upper-cased verb and body. Shared by every HWDB/1-framed
+// server (the per-home RPC here and the fleet telemetry endpoint).
+func ParseRequest(s string) (seq uint64, verb, body string, err error) {
 	nl := strings.IndexByte(s, '\n')
 	header := s
 	if nl >= 0 {
@@ -176,17 +179,24 @@ func (s *Server) dispatch(addr *net.UDPAddr, seq uint64, verb, body string) {
 	}
 }
 
+// TruncateBody caps a response body so header+body fits in one
+// MaxDatagram-sized datagram, cutting at a line boundary and flagging
+// the cut with a "TRUNCATED" trailer. Shared by every HWDB/1-framed
+// server (the per-home RPC here and the fleet telemetry endpoint).
+func TruncateBody(body string, headerLen int) string {
+	if headerLen+len(body) <= MaxDatagram {
+		return body
+	}
+	keep := body[:MaxDatagram-headerLen-len("TRUNCATED\n")]
+	if i := strings.LastIndexByte(keep, '\n'); i >= 0 {
+		keep = keep[:i+1]
+	}
+	return keep + "TRUNCATED\n"
+}
+
 func (s *Server) reply(addr *net.UDPAddr, seq uint64, status, body string) {
 	msg := fmt.Sprintf("%s %d %s\n", rpcMagic, seq, status)
-	if len(msg)+len(body) > MaxDatagram {
-		// Truncate at a line boundary and flag it.
-		keep := body[:MaxDatagram-len(msg)-len("TRUNCATED\n")]
-		if i := strings.LastIndexByte(keep, '\n'); i >= 0 {
-			keep = keep[:i+1]
-		}
-		body = keep + "TRUNCATED\n"
-	}
-	_, _ = s.conn.WriteToUDP([]byte(msg+body), addr)
+	_, _ = s.conn.WriteToUDP([]byte(msg+TruncateBody(body, len(msg))), addr)
 }
 
 func (s *Server) addSubscription(addr *net.UDPAddr, st *SubscribeStmt) uint64 {
@@ -223,28 +233,52 @@ func (s *Server) Subscriptions() int {
 	return len(s.subs)
 }
 
+// run drives one subscription. Idle subscriptions are free: a period
+// where the result cannot have changed skips the SELECT entirely (no
+// inserts since the last evaluation, and either the window is
+// insert-driven — ROWS/ALL/NOW — or the last result was already empty,
+// which only inserts can change), and a re-evaluated result identical to
+// the last push is not re-sent. A subscription over an idle table
+// therefore generates no datagrams at all until data first appears.
 func (s *Server) run(sub *subscription) {
 	defer s.wg.Done()
+	var (
+		lastBody string
+		havePush bool   // at least one push sent
+		evaled   bool   // lastIns/lastRows are valid
+		lastIns  uint64 // table insert count at the last evaluation
+		lastRows int    // data rows in the last evaluation
+	)
 	for {
 		select {
 		case <-sub.cancel:
 			return
 		case <-s.db.clk.After(sub.every):
 		}
+		t, haveTable := s.db.Table(sub.query.Table)
+		var ins uint64
+		if haveTable {
+			ins, _ = t.Stats()
+			if evaled && ins == lastIns &&
+				(sub.query.Win.Kind != WindowRange || lastRows == 0) {
+				continue // nothing can have changed: skip the SELECT too
+			}
+		}
 		res, err := s.db.Select(sub.query)
 		if err != nil {
 			continue
 		}
-		header := fmt.Sprintf("%s 0 PUSH %d\n", rpcMagic, sub.id)
+		evaled, lastIns, lastRows = haveTable, ins, len(res.Rows)
 		body := res.Text()
-		if len(header)+len(body) > MaxDatagram {
-			keep := body[:MaxDatagram-len(header)-len("TRUNCATED\n")]
-			if i := strings.LastIndexByte(keep, '\n'); i >= 0 {
-				keep = keep[:i+1]
-			}
-			body = keep + "TRUNCATED\n"
+		if havePush && body == lastBody {
+			continue // unchanged result: no datagram
 		}
-		if _, err := s.conn.WriteToUDP([]byte(header+body), sub.addr); err != nil {
+		if !havePush && len(res.Rows) == 0 {
+			continue // idle from the start: nothing to report yet
+		}
+		lastBody, havePush = body, true
+		header := fmt.Sprintf("%s 0 PUSH %d\n", rpcMagic, sub.id)
+		if _, err := s.conn.WriteToUDP([]byte(header+TruncateBody(body, len(header))), sub.addr); err != nil {
 			return
 		}
 	}

@@ -116,6 +116,14 @@ func (n *Network) Host(mac packet.MAC) (*Host, bool) {
 	return h, ok
 }
 
+// HostCount returns the number of attached hosts without building the
+// slice Hosts allocates — telemetry reads it once per home per commit.
+func (n *Network) HostCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.hosts)
+}
+
 // Hosts returns all hosts.
 func (n *Network) Hosts() []*Host {
 	n.mu.Lock()

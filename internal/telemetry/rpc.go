@@ -1,0 +1,338 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hwdb"
+)
+
+// The streaming fleet endpoint speaks the HWDB/1 wire framing (the same
+// single-datagram request/response/push format as the per-home hwdb RPC,
+// so hwdb.Client drives it unchanged) with a fleet verb set:
+//
+//	EXEC        body = one CQL SELECT against the FleetStats view
+//	STATS       one-row tabular fleet totals + windowed rates
+//	SUBSCRIBE   body = [SUBSCRIBE] FLEET EVERY <n> <unit>; OK arg is the id
+//	UNSUBSCRIBE body = id
+//	PING
+//
+// Subscription pushes are per-home DELTAS: each push carries one row per
+// home whose counters advanced since the previous push to that
+// subscriber, with its current windowed rate. Ticks where nothing changed
+// send no datagram at all — an idle fleet costs an idle subscriber
+// nothing — and a client re-syncs by summing deltas, never by re-query.
+const (
+	rpcMagic = "HWDB/1"
+	// MaxDatagram is the largest datagram the server will send.
+	MaxDatagram = hwdb.MaxDatagram
+)
+
+// Server serves a folder's fleet-wide telemetry over UDP.
+type Server struct {
+	folder *Folder
+	conn   *net.UDPConn
+
+	mu     sync.Mutex
+	subs   map[uint64]*fleetSub
+	nextID uint64
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// fleetSub is one delta-push subscription.
+type fleetSub struct {
+	id     uint64
+	addr   *net.UDPAddr
+	every  time.Duration
+	cancel chan struct{}
+}
+
+// NewServer creates a server over folder. Call Serve to start it.
+func NewServer(folder *Folder) *Server {
+	return &Server{folder: folder, subs: make(map[uint64]*fleetSub)}
+}
+
+// Serve binds addr (e.g. "127.0.0.1:0") and serves until Close.
+func (s *Server) Serve(addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return err
+	}
+	s.conn = conn
+	s.wg.Add(1)
+	go s.loop()
+	return nil
+}
+
+// Addr returns the bound address once Serve has been called.
+func (s *Server) Addr() string {
+	if s.conn == nil {
+		return ""
+	}
+	return s.conn.LocalAddr().String()
+}
+
+// Subscriptions returns the number of active subscriptions.
+func (s *Server) Subscriptions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// Close stops the server and cancels all subscriptions. Safe to defer
+// before checking Serve's error (a never-served server closes to a no-op).
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.mu.Lock()
+	for id, sub := range s.subs {
+		close(sub.cancel)
+		delete(s.subs, id)
+	}
+	s.mu.Unlock()
+	var err error
+	if s.conn != nil {
+		err = s.conn.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, addr, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		seq, verb, body, perr := hwdb.ParseRequest(string(buf[:n]))
+		if perr != nil {
+			s.reply(addr, seq, "ERR "+perr.Error(), "")
+			continue
+		}
+		s.dispatch(addr, seq, verb, body)
+	}
+}
+
+func (s *Server) dispatch(addr *net.UDPAddr, seq uint64, verb, body string) {
+	switch verb {
+	case "PING":
+		s.reply(addr, seq, "OK pong", "")
+	case "EXEC":
+		res, err := s.folder.View().Query(strings.TrimSpace(body))
+		if err != nil {
+			s.reply(addr, seq, "ERR "+err.Error(), "")
+			return
+		}
+		s.reply(addr, seq, fmt.Sprintf("OK %d", len(res.Rows)), res.Text())
+	case "STATS":
+		res := s.statsResult()
+		s.reply(addr, seq, fmt.Sprintf("OK %d", len(res.Rows)), res.Text())
+	case "SUBSCRIBE":
+		every, err := parseFleetSubscribe(body)
+		if err != nil {
+			s.reply(addr, seq, "ERR "+err.Error(), "")
+			return
+		}
+		id := s.addSubscription(addr, every)
+		s.reply(addr, seq, fmt.Sprintf("OK %d", id), "")
+	case "UNSUBSCRIBE":
+		id, err := strconv.ParseUint(strings.TrimSpace(body), 10, 64)
+		if err != nil {
+			s.reply(addr, seq, "ERR bad subscription id", "")
+			return
+		}
+		s.mu.Lock()
+		sub, ok := s.subs[id]
+		if ok {
+			close(sub.cancel)
+			delete(s.subs, id)
+		}
+		s.mu.Unlock()
+		if ok {
+			s.reply(addr, seq, "OK", "")
+		} else {
+			s.reply(addr, seq, "ERR no such subscription", "")
+		}
+	default:
+		s.reply(addr, seq, "ERR unknown verb "+verb, "")
+	}
+}
+
+// parseFleetSubscribe parses "[SUBSCRIBE] FLEET EVERY <n> <unit>".
+func parseFleetSubscribe(body string) (time.Duration, error) {
+	fields := strings.Fields(strings.ToUpper(strings.TrimSpace(body)))
+	if len(fields) > 0 && fields[0] == "SUBSCRIBE" {
+		fields = fields[1:]
+	}
+	if len(fields) != 4 || fields[0] != "FLEET" || fields[1] != "EVERY" {
+		return 0, fmt.Errorf("body must be [SUBSCRIBE] FLEET EVERY <n> <unit>")
+	}
+	v, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad period %q", fields[2])
+	}
+	var unit time.Duration
+	switch fields[3] {
+	case "MILLISECONDS", "MILLISECOND", "MS":
+		unit = time.Millisecond
+	case "SECONDS", "SECOND", "S":
+		unit = time.Second
+	case "MINUTES", "MINUTE", "M":
+		unit = time.Minute
+	default:
+		return 0, fmt.Errorf("bad unit %q", fields[3])
+	}
+	return time.Duration(v * float64(unit)), nil
+}
+
+func (s *Server) addSubscription(addr *net.UDPAddr, every time.Duration) uint64 {
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	sub := &fleetSub{id: id, addr: addr, every: every, cancel: make(chan struct{})}
+	s.subs[id] = sub
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.run(sub)
+	return id
+}
+
+// homeMark is the cumulative state last pushed to a subscriber for one
+// home; the next push carries the delta past it.
+type homeMark struct {
+	flows, links         uint64
+	packets, bytes, lost uint64
+}
+
+var pushCols = []string{"home", "hosts", "flows", "packets", "bytes", "links", "lost", "bytes_s", "pkts_s"}
+
+// run drives one subscription: every period, diff the folder's per-home
+// cumulative counters against what this subscriber has seen and push only
+// the homes that moved. Nothing moved -> no datagram. The push is built
+// against the datagram budget row by row: a home's mark advances only
+// when its row actually fits, so deltas that overflow one datagram are
+// carried — never silently dropped — and each tick resumes round-robin
+// from where the previous push stopped, so a fleet too busy for one
+// datagram cannot starve its high-ID homes.
+func (s *Server) run(sub *fleetSub) {
+	defer s.wg.Done()
+	seen := make(map[uint64]homeMark)
+	header := fmt.Sprintf("%s 0 PUSH %d\n", rpcMagic, sub.id)
+	head := strings.Join(pushCols, "\t") + "\n"
+	var resume uint64 // first home ID to consider this tick
+	for {
+		select {
+		case <-sub.cancel:
+			return
+		case <-s.folder.clk.After(sub.every):
+		}
+		hts := s.folder.HomeTotals()
+		if len(hts) == 0 {
+			continue
+		}
+		// Rotate the ascending-ID list so iteration starts at the resume
+		// cursor and wraps, visiting every home once.
+		start := 0
+		for i, ht := range hts {
+			if ht.Home >= resume {
+				start = i
+				break
+			}
+		}
+		var sb strings.Builder
+		sb.WriteString(head)
+		rows, full := 0, false
+		for k := 0; k < len(hts); k++ {
+			ht := hts[(start+k)%len(hts)]
+			m := seen[ht.Home]
+			if ht.Flows == m.flows && ht.Links == m.links && ht.Lost == m.lost {
+				continue
+			}
+			line := deltaLine(ht, m)
+			if len(header)+sb.Len()+len(line) > MaxDatagram {
+				// The rest ride the next push; resume with this home.
+				resume, full = ht.Home, true
+				break
+			}
+			sb.WriteString(line)
+			rows++
+			seen[ht.Home] = homeMark{
+				flows: ht.Flows, links: ht.Links,
+				packets: ht.Packets, bytes: ht.Bytes, lost: ht.Lost,
+			}
+		}
+		if !full {
+			resume = 0
+		}
+		if rows == 0 {
+			continue // idle tick: no datagram
+		}
+		if _, err := s.conn.WriteToUDP([]byte(header+sb.String()), sub.addr); err != nil {
+			return
+		}
+	}
+}
+
+// deltaLine renders one home's delta-past-mark as a tabular body line in
+// the same cell format hwdb.Result.Text emits (so ParseText reads it).
+func deltaLine(ht HomeTotals, m homeMark) string {
+	cells := []hwdb.Value{
+		hwdb.Int64(int64(ht.Home)),
+		hwdb.Int64(int64(ht.Hosts)),
+		hwdb.Int64(int64(ht.Flows - m.flows)),
+		hwdb.Int64(int64(ht.Packets - m.packets)),
+		hwdb.Int64(int64(ht.Bytes - m.bytes)),
+		hwdb.Int64(int64(ht.Links - m.links)),
+		hwdb.Int64(int64(ht.Lost - m.lost)),
+		hwdb.Float(ht.Rate.BytesPerSec),
+		hwdb.Float(ht.Rate.PacketsPerSec),
+	}
+	var sb strings.Builder
+	for i, v := range cells {
+		if i > 0 {
+			sb.WriteByte('\t')
+		}
+		sb.WriteString(v.Text())
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// statsResult renders the live totals and fleet rate as one tabular row.
+func (s *Server) statsResult() *hwdb.Result {
+	t := s.folder.Totals()
+	r := s.folder.FleetRate()
+	return &hwdb.Result{
+		Cols: []string{"homes", "hosts", "flows", "links", "leases", "packets", "bytes", "lost", "bytes_s", "pkts_s"},
+		Rows: [][]hwdb.Value{{
+			hwdb.Int64(int64(t.Homes)),
+			hwdb.Int64(int64(t.Hosts)),
+			hwdb.Int64(int64(t.Flows)),
+			hwdb.Int64(int64(t.Links)),
+			hwdb.Int64(int64(t.Leases)),
+			hwdb.Int64(int64(t.Packets)),
+			hwdb.Int64(int64(t.Bytes)),
+			hwdb.Int64(int64(t.Lost)),
+			hwdb.Float(r.BytesPerSec),
+			hwdb.Float(r.PacketsPerSec),
+		}},
+	}
+}
+
+func (s *Server) reply(addr *net.UDPAddr, seq uint64, status, body string) {
+	msg := fmt.Sprintf("%s %d %s\n", rpcMagic, seq, status)
+	_, _ = s.conn.WriteToUDP([]byte(msg+hwdb.TruncateBody(body, len(msg))), addr)
+}

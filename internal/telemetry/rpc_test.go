@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/hwdb"
+	"repro/internal/packet"
+)
+
+// serverRig is a one-home telemetry stack behind a live UDP endpoint,
+// driven by the unmodified hwdb client (the endpoint speaks HWDB/1).
+type serverRig struct {
+	hub    *Hub
+	folder *Folder
+	db     *hwdb.DB
+	srv    *Server
+	cli    *hwdb.Client
+}
+
+func newServerRig(t *testing.T) *serverRig {
+	t.Helper()
+	clk := clock.Real{} // subscription ticks need a real clock here
+	hub := NewHub(HubConfig{Manual: true})
+	t.Cleanup(hub.Close)
+	folder := NewFolder(hub, FolderConfig{Clock: clk})
+	db := hwdb.NewHomework(clk, 1024)
+	folder.AddHome(7, func() int { return 2 })
+	for _, name := range []string{hwdb.TableFlows, hwdb.TableLinks, hwdb.TableLeases} {
+		tbl, _ := db.Table(name)
+		hub.Watch(SourceID{Home: 7, Table: name}, tbl)
+	}
+	srv := NewServer(folder)
+	if err := srv.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	cli, err := hwdb.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cli.Close() })
+	return &serverRig{hub: hub, folder: folder, db: db, srv: srv, cli: cli}
+}
+
+func (r *serverRig) traffic(t *testing.T, n int, bytes uint64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		err := r.db.InsertFlow(packet.MAC{2, 1}, packet.FiveTuple{Proto: packet.ProtoTCP, DstPort: 80}, 1, bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.hub.Flush()
+}
+
+// TestServerExecQueriesView: EXEC runs CQL against the live FleetStats
+// view through the standard hwdb client.
+func TestServerExecQueriesView(t *testing.T) {
+	r := newServerRig(t)
+	if err := r.cli.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	r.traffic(t, 3, 1000)
+	r.folder.Commit()
+
+	res, err := r.cli.Exec("SELECT home, sum(bytes) AS b FROM FleetStats GROUP BY home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "7" || res.Rows[0][1].Str != "3000" {
+		t.Fatalf("view over RPC = %v", res.Rows)
+	}
+	// Non-SELECT statements are rejected: the view is read-only remotely.
+	if _, err := r.cli.Exec("INSERT INTO FleetStats VALUES (1,1,1,1,1,1,1,1.0,1.0)"); err == nil {
+		t.Fatal("remote INSERT into the view was accepted")
+	}
+}
+
+// TestServerStatsVerb exercises the STATS verb over a raw datagram (the
+// generic client has no STATS helper).
+func TestServerStatsVerb(t *testing.T) {
+	r := newServerRig(t)
+	r.traffic(t, 2, 500)
+
+	conn, err := net.Dial("udp", r.srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("HWDB/1 1 STATS\n")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 65536)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(buf[:n])
+	if !strings.HasPrefix(got, "HWDB/1 1 OK 1\n") {
+		t.Fatalf("stats reply = %q", got)
+	}
+	res, err := hwdb.ParseText(got[strings.IndexByte(got, '\n')+1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := func(col string) int {
+		for i, c := range res.Cols {
+			if c == col {
+				return i
+			}
+		}
+		t.Fatalf("no %s column in %v", col, res.Cols)
+		return -1
+	}
+	row := res.Rows[0]
+	if row[idx("homes")].Str != "1" || row[idx("hosts")].Str != "2" ||
+		row[idx("flows")].Str != "2" || row[idx("bytes")].Str != "1000" {
+		t.Fatalf("stats row = %v (cols %v)", row, res.Cols)
+	}
+}
+
+// TestServerSubscribeDeltaPushes: a FLEET subscription pushes per-home
+// deltas only when counters move — idle ticks send no datagram at all.
+func TestServerSubscribeDeltaPushes(t *testing.T) {
+	r := newServerRig(t)
+	id, err := r.cli.Subscribe("FLEET EVERY 0.02 SECONDS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.srv.Subscriptions() != 1 {
+		t.Fatalf("subscriptions = %d", r.srv.Subscriptions())
+	}
+
+	// Idle fleet: several periods elapse, no push arrives.
+	if p, err := r.cli.WaitPush(200 * time.Millisecond); err == nil {
+		t.Fatalf("idle fleet pushed %+v", p)
+	}
+
+	r.traffic(t, 4, 250)
+	push, err := r.cli.WaitPush(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if push.SubID != id || len(push.Result.Rows) != 1 {
+		t.Fatalf("push = %+v", push)
+	}
+	row := push.Result.Rows[0]
+	if row[0].Str != "7" || row[2].Str != "4" || row[4].Str != "1000" {
+		t.Fatalf("delta row = %v (cols %v)", row, push.Result.Cols)
+	}
+
+	// Idle again: the subscriber has seen everything; no more datagrams.
+	if p, err := r.cli.WaitPush(200 * time.Millisecond); err == nil {
+		t.Fatalf("caught-up subscriber pushed %+v", p)
+	}
+
+	// New activity pushes only the delta past the last push.
+	r.traffic(t, 1, 100)
+	push, err = r.cli.WaitPush(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row = push.Result.Rows[0]
+	if row[2].Str != "1" || row[4].Str != "100" {
+		t.Fatalf("second delta row = %v", row)
+	}
+
+	if err := r.cli.Unsubscribe(id); err != nil {
+		t.Fatal(err)
+	}
+	if r.srv.Subscriptions() != 0 {
+		t.Fatalf("subscriptions after unsubscribe = %d", r.srv.Subscriptions())
+	}
+}
+
+// TestDeltaLineMatchesResultText pins the push row rendering to the
+// hwdb tabular wire format, so ParseText on the client keeps working.
+func TestDeltaLineMatchesResultText(t *testing.T) {
+	ht := HomeTotals{
+		Home: 5, Hosts: 3, Flows: 10, Links: 4, Packets: 100, Bytes: 9000,
+		Lost: 2, Rate: Rate{BytesPerSec: 4500.5, PacketsPerSec: 50},
+	}
+	m := homeMark{flows: 4, links: 1, packets: 40, bytes: 2000, lost: 1}
+	res := &hwdb.Result{Cols: pushCols, Rows: [][]hwdb.Value{{
+		hwdb.Int64(5), hwdb.Int64(3), hwdb.Int64(6), hwdb.Int64(60),
+		hwdb.Int64(7000), hwdb.Int64(3), hwdb.Int64(1),
+		hwdb.Float(4500.5), hwdb.Float(50),
+	}}}
+	want := res.Text()
+	got := strings.Join(pushCols, "\t") + "\n" + deltaLine(ht, m)
+	if got != want {
+		t.Fatalf("delta line diverges from Result.Text:\ngot  %q\nwant %q", got, want)
+	}
+}
+
+// TestServerCloseWithoutServe: Close on a never-served server is a safe
+// no-op (the idiomatic defer-before-error-check pattern must not panic).
+func TestServerCloseWithoutServe(t *testing.T) {
+	hub := NewHub(HubConfig{Manual: true})
+	defer hub.Close()
+	srv := NewServer(NewFolder(hub, FolderConfig{Clock: clock.Real{}}))
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close without serve: %v", err)
+	}
+}
+
+// TestParseFleetSubscribe table-drives the subscription body grammar.
+func TestParseFleetSubscribe(t *testing.T) {
+	cases := []struct {
+		body    string
+		want    time.Duration
+		wantErr bool
+	}{
+		{"FLEET EVERY 1 SECONDS", time.Second, false},
+		{"SUBSCRIBE FLEET EVERY 0.5 SECONDS", 500 * time.Millisecond, false},
+		{"fleet every 20 ms", 20 * time.Millisecond, false},
+		{"FLEET EVERY 2 MINUTES", 2 * time.Minute, false},
+		{"FLEET EVERY 0 SECONDS", 0, true},
+		{"FLEET EVERY x SECONDS", 0, true},
+		{"FLEET EVERY 1 FORTNIGHTS", 0, true},
+		{"SELECT * FROM Flows", 0, true},
+		{"", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := parseFleetSubscribe(tc.body)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%q: err = %v, wantErr %v", tc.body, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("%q = %v, want %v", tc.body, got, tc.want)
+		}
+	}
+}
