@@ -7,6 +7,7 @@ package homework
 import (
 	"fmt"
 	"os"
+	"sort"
 	"testing"
 	"time"
 
@@ -563,6 +564,77 @@ func benchFleetStep(b *testing.B, homes int, kind core.TransportKind) {
 	if f.Aggregate(); f.Totals().Flows == 0 {
 		b.Fatal("fleet stepped but no flows were folded")
 	}
+}
+
+// BenchmarkSettleLatency measures the control plane's quiescence latency:
+// the time from a punt entering the control path to Settle returning with
+// the path drained and barriered — the wait every fleet tick pays per
+// home with a new flow. Each sample injects the first packet of a
+// brand-new flow (so a punt is guaranteed in flight when Settle is
+// entered) and settles, per home, back to back as fleet.Home.step does;
+// p50/p99 across all per-home samples are reported alongside the mean.
+// The event-driven wait puts p50 at in-process dispatch + barrier RTT
+// scale; the poll-and-sleep protocol it replaced floored every sample
+// with an in-flight punt at its 200 µs sleep quantum.
+func BenchmarkSettleLatency(b *testing.B) {
+	for _, homes := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("homes=%d", homes), func(b *testing.B) {
+			benchSettleLatency(b, homes)
+		})
+	}
+}
+
+func benchSettleLatency(b *testing.B, homes int) {
+	clk := clock.NewSimulated()
+	routers := make([]*core.Router, homes)
+	hosts := make([]*netsim.Host, homes)
+	for i := range routers {
+		cfg := core.DefaultConfig()
+		cfg.AutoPermit = true
+		cfg.DisableRPC = true
+		cfg.Clock = clk
+		cfg.Seed = int64(i + 1)
+		rt, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(rt.Stop)
+		h, err := rt.AddHost(fmt.Sprintf("dev-%d", i), fmt.Sprintf("02:aa:00:%02x:00:01", i), false, netsim.Pos{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.JoinHost(h); err != nil {
+			b.Fatal(err)
+		}
+		if !h.Bound() {
+			b.Fatalf("home %d host did not bind", i)
+		}
+		routers[i], hosts[i] = rt, h
+	}
+	samples := make([]time.Duration, 0, b.N*homes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for hi, rt := range routers {
+			h := hosts[hi]
+			// A brand-new five-tuple: this packet misses and punts.
+			frame := packet.NewTCPFrame(h.MAC, rt.Config.RouterMAC,
+				h.IP(), packet.IP4{93, 184, 216, 34},
+				uint16(1024+i%60000), uint16(1+i/60000), packet.TCPSyn, 0, nil)
+			t0 := time.Now()
+			h.SendRaw(frame.Bytes())
+			if err := rt.Settle(); err != nil {
+				b.Fatal(err)
+			}
+			samples = append(samples, time.Since(t0))
+		}
+	}
+	b.StopTimer()
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	b.ReportMetric(float64(samples[len(samples)/2].Nanoseconds()), "p50-ns/settle")
+	b.ReportMetric(float64(samples[len(samples)*99/100].Nanoseconds()), "p99-ns/settle")
 }
 
 // BenchmarkFleetAggregate compares the cost of taking a fleet-wide delta

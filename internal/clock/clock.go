@@ -1,6 +1,11 @@
 // Package clock abstracts time so the simulator, the Homework Database and
 // the DHCP/policy modules can run against either the wall clock or a
 // deterministic simulated clock driven by tests and benchmarks.
+//
+// Both implementations are safe for concurrent use from any goroutine:
+// Real delegates to the runtime, and Simulated guards its timeline with a
+// mutex, so Advance may race Now/After callers — timers created by After
+// fire synchronously inside the Advance that reaches them.
 package clock
 
 import (

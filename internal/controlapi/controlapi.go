@@ -17,6 +17,11 @@
 //	POST   /api/keys/{id}/insert      simulate/register USB key insertion
 //	POST   /api/keys/{id}/remove      USB key removal
 //	GET    /api/access/{mac}          effective restriction for a device
+//
+// Concurrency: the API holds no mutable state of its own. Each request
+// runs on its own HTTP-server goroutine and delegates to the DHCP server
+// and policy engine, which synchronize internally, so requests may race
+// each other and the controller's dispatch freely.
 package controlapi
 
 import (

@@ -4,11 +4,18 @@
 // key monitor, and the simulated home network they manage. This is the
 // paper's primary contribution — an integrated home router whose
 // measurement and control APIs support novel management interfaces.
+//
+// Concurrency: New and Start are single-threaded setup. Afterwards the
+// NOX modules run on the controller's dispatch goroutine, the datapath
+// receives traffic from the simulator and the secure channel, and
+// Settle/JoinHost may be driven from any goroutine — they block on the
+// shared quiescence epoch until the control path drains (event-driven,
+// no polling; the protocol is specified in docs/CONTROL_PLANE.md) with
+// Config.SettleTimeout as the error backstop.
 package core
 
 import (
 	"sync"
-	"time"
 
 	"repro/internal/dhcp"
 	"repro/internal/dnsproxy"
@@ -315,6 +322,3 @@ func (f *Forwarder) sendEchoReply(ev *nox.PacketInEvent) {
 	_ = ev.Switch.SendPacket(reply.Bytes(), openflow.PortNone,
 		&openflow.ActionOutput{Port: ev.Msg.InPort})
 }
-
-// settleWait is how long Settle polls for the control path to quiesce.
-const settleWait = 5 * time.Second

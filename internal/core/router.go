@@ -67,6 +67,12 @@ type Config struct {
 	// Transport selects the controller↔datapath channel
 	// (TransportInProcess when empty).
 	Transport TransportKind
+	// SettleTimeout bounds how long Settle (and JoinHost, which settles
+	// between DHCP attempts) will wait for the control path to drain
+	// before reporting a wedged controller (default 5s). It is an error
+	// backstop only — quiescence itself is signalled, never polled on
+	// this cadence.
+	SettleTimeout time.Duration
 }
 
 // DefaultConfig returns the configuration used by the examples and the
@@ -143,6 +149,9 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Transport != TransportInProcess && cfg.Transport != TransportTCP {
 		return nil, fmt.Errorf("core: unknown transport %q", cfg.Transport)
 	}
+	if cfg.SettleTimeout == 0 {
+		cfg.SettleTimeout = settleWait
+	}
 
 	r := &Router{Config: cfg, Clock: cfg.Clock}
 	r.DB = hwdb.NewHomework(cfg.Clock, cfg.RingSize)
@@ -195,6 +204,10 @@ func New(cfg Config) (*Router, error) {
 	// Punted packets must arrive whole: the DHCP payload alone is 300
 	// bytes and the modules parse punts directly.
 	r.Controller.MissSendLen = 0xffff
+	// Controller and datapath share one punt/processed epoch regardless
+	// of transport (they are co-resident even on the TCP loopback path),
+	// so Settle blocks on catch-up instead of polling counters.
+	r.Controller.SetQuiesce(r.Datapath.Quiesce())
 	// Registration order is the dispatch order: DHCP and DNS consume
 	// their protocols before the forwarder sees anything.
 	for _, comp := range []nox.Component{r.DHCP, r.DNS, r.API, r.Forwarder} {
@@ -290,27 +303,51 @@ func (r *Router) PollMeasure() { r.Measure.PollOnce(r.sw) }
 // RunMeasure starts the periodic measurement loop.
 func (r *Router) RunMeasure() { go r.Measure.Run(r.sw) }
 
-// Settle waits until the controller has processed every packet-in the
-// datapath has punted, then round-trips a barrier so any resulting flow
-// installs are live. It makes traffic injection deterministic for tests,
-// figures and benches.
+// Settle blocks until the control path is quiescent: every packet-in the
+// datapath has punted has been dispatched by the controller, and a
+// barrier has round-tripped with no new punts arriving behind it — so
+// any flow-mods and packet-outs the dispatches produced are live in the
+// datapath. The wait is event-driven (the controller signals catch-up on
+// the shared quiescence epoch; there is no polling and no sleep) and
+// returns the moment the path drains. Config.SettleTimeout bounds the
+// whole call as an error backstop against a wedged controller. Settle is
+// safe to call from any goroutine and makes traffic injection
+// deterministic for tests, figures and benches; the full protocol is
+// specified in docs/CONTROL_PLANE.md.
 func (r *Router) Settle() error {
-	deadline := time.Now().Add(settleWait)
+	q := r.Datapath.Quiesce()
+	deadline := time.Now().Add(r.Config.SettleTimeout)
 	for {
-		punted := r.Datapath.PuntCount()
-		done := r.Controller.Processed()
-		if done >= punted {
-			break
+		if err := q.Wait(time.Until(deadline)); err != nil {
+			punted, done := q.Counts()
+			return fmt.Errorf("core: control path did not settle (%d punts, %d processed): %w", punted, done, err)
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("core: control path did not settle (%d punts, %d processed)", punted, done)
+		if r.sw == nil {
+			return nil
 		}
-		time.Sleep(200 * time.Microsecond)
+		// Catch-up says every punt was dispatched, and each dispatch's
+		// flow-mods and packet-outs were sent before it was credited —
+		// so a barrier sent after this observation flushes all of them.
+		// Snapshot the punt count at the observation: if it is unchanged
+		// when the barrier returns, nothing the flush delivered punted
+		// again and the path is quiescent. Otherwise the flush advanced
+		// a handshake chain (DHCP OFFER → REQUEST, DNS relay) and the
+		// new punt's dispatch must be waited for in turn. Comparing
+		// against the snapshot (not re-reading Settled) is load-bearing:
+		// a dispatch completing between the barrier send and its return
+		// could make the counts look settled even though its output is
+		// queued behind the barrier, not flushed by it.
+		punted0, done0 := q.Counts()
+		if done0 < punted0 {
+			continue // a new punt raced the observation; wait for it
+		}
+		if err := r.sw.Barrier(); err != nil {
+			return err
+		}
+		if q.Punted() == punted0 {
+			return nil
+		}
 	}
-	if r.sw == nil {
-		return nil
-	}
-	return r.sw.Barrier()
 }
 
 // AddHost adds a simulated device to the home network.
@@ -322,33 +359,46 @@ func (r *Router) AddHost(name, mac string, wireless bool, pos netsim.Pos) (*nets
 	return r.Net.AddHost(name, m, wireless, pos)
 }
 
+// settleWait is the default Config.SettleTimeout: the error backstop on
+// waiting for control-path quiescence, not a polling cadence.
+const settleWait = 5 * time.Second
+
+// joinAttempts bounds how many DISCOVER handshakes JoinHost will start
+// before giving up and returning the host unbound. Each attempt only
+// begins once the previous exchange has fully drained, so the bound is on
+// genuine losses (wireless drops, a DISCOVER that raced the punt rules),
+// not on slow dispatch.
+const joinAttempts = 16
+
 // JoinHost runs a device through DHCP and waits for the verdict: bound,
 // denied, or (when approval is pending) still unbound after the handshake
 // settles.
+//
+// Retry contract: like a real DHCP client, the host re-issues its
+// DISCOVER when an exchange completes without a lease — the first packet
+// may have raced the punt-rule installation at join, or a wireless frame
+// may have been lost. Retries are gated on control-path quiescence, not
+// wall-clock time: a new DISCOVER is sent only after Settle confirms the
+// previous exchange has fully drained (every punt dispatched, a barrier
+// crossed with no response still in flight), so there is no fixed retry
+// period and no sleep. A host left Pending by the admission policy stops
+// the loop immediately — it stays unbound until the control interface
+// acts. At most joinAttempts handshakes are started, and
+// Config.SettleTimeout bounds the whole join as an error backstop; an
+// unbound host after that is reported by Bound()/Denied(), not an error.
 func (r *Router) JoinHost(h *netsim.Host) error {
-	h.StartDHCP()
-	if err := r.Settle(); err != nil {
-		return err
-	}
-	// The DHCP exchange is two round trips; like a real client, retry the
-	// DISCOVER if nothing came back (e.g. it raced the punt rules).
-	deadline := time.Now().Add(settleWait)
-	lastRetry := time.Now()
-	for !h.Bound() && !h.Denied() && time.Now().Before(deadline) {
+	deadline := time.Now().Add(r.Config.SettleTimeout)
+	for attempt := 0; attempt < joinAttempts; attempt++ {
+		h.StartDHCP()
 		if err := r.Settle(); err != nil {
 			return err
 		}
-		if h.Bound() || h.Denied() {
-			break
+		if h.Bound() || h.Denied() || r.pendingApproval(h) {
+			return nil
 		}
-		if r.pendingApproval(h) {
-			return nil // stays pending until the control interface acts
+		if time.Now().After(deadline) {
+			return nil
 		}
-		if time.Since(lastRetry) > 250*time.Millisecond {
-			lastRetry = time.Now()
-			h.StartDHCP()
-		}
-		time.Sleep(time.Millisecond)
 	}
 	return nil
 }

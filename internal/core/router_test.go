@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -9,6 +11,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/packet"
 	"repro/internal/policy"
+	"repro/internal/quiesce"
 )
 
 // startRouter brings up a full platform with auto-permit enabled unless
@@ -392,5 +395,146 @@ func TestTransportUnknownRejected(t *testing.T) {
 	cfg.Transport = "carrier-pigeon"
 	if _, err := New(cfg); err == nil {
 		t.Fatal("unknown transport accepted")
+	}
+}
+
+// TestSettleDeadlineWhenWedged pins the error backstop: a punt with no
+// controller behind it (the router was never started, so nothing drains
+// the epoch) must surface SettleTimeout as a quiesce.ErrDeadline — not
+// hang, and not return success.
+func TestSettleDeadlineWhenWedged(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AutoPermit = true
+	cfg.SettleTimeout = 50 * time.Millisecond
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	// No Start: the datapath punts into the void.
+	h, err := r.AddHost("wedged", "02:aa:00:00:00:31", false, netsim.Pos{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.StartDHCP()
+	if r.Datapath.PuntCount() == 0 {
+		t.Fatal("no punt was recorded")
+	}
+	start := time.Now()
+	err = r.Settle()
+	if !errors.Is(err, quiesce.ErrDeadline) {
+		t.Fatalf("Settle = %v, want quiesce.ErrDeadline", err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond || elapsed > 5*time.Second {
+		t.Fatalf("Settle returned after %v, want ~SettleTimeout", elapsed)
+	}
+	// JoinHost shares the backstop.
+	if err := r.JoinHost(h); !errors.Is(err, quiesce.ErrDeadline) {
+		t.Fatalf("JoinHost = %v, want quiesce.ErrDeadline", err)
+	}
+}
+
+// TestSettleConcurrentWithTraffic hammers Settle from several goroutines
+// while the network keeps punting (run under -race): no call may return
+// an error, and after every stepper settles, the control path must be
+// quiescent — processed caught up with punted — with no lost wakeup
+// (which would surface as a deadline error) and no early return while a
+// step's punts were outstanding.
+func TestSettleConcurrentWithTraffic(t *testing.T) {
+	r := startRouter(t, nil)
+	h := join(t, r, "churner", "02:aa:00:00:00:32", false, netsim.Pos{})
+	app := netsim.NewApp(netsim.AppWeb, "203.0.113.7", 40_000)
+	app.SetFlowChurn(0.9) // fresh flows: every tick punts
+	h.AddApp(app)
+
+	const steps = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	done := make(chan struct{})
+
+	// One stepper: inject traffic then settle, as Home.step does.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < steps; i++ {
+			r.Net.Step(0.05)
+			if err := r.Settle(); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	// Concurrent settlers with nothing of their own to wait for: they
+	// must neither error nor deadlock no matter how they interleave.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := r.Settle(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	punted, processed := r.Datapath.Quiesce().Counts()
+	if processed < punted {
+		t.Fatalf("early return: %d punts but only %d processed after all Settles", punted, processed)
+	}
+	if punted == 0 {
+		t.Fatal("traffic generated no punts; the test exercised nothing")
+	}
+}
+
+// TestDuplicateAckLeavesHostUsable guards handleDHCP's manual
+// lock/unlock structure: a retransmitted ACK arriving after the host is
+// already bound must be ignored without leaking the host mutex (a leak
+// deadlocks Bound() and every later delivery, wedging the fleet tick).
+func TestDuplicateAckLeavesHostUsable(t *testing.T) {
+	r := startRouter(t, nil)
+	h, err := r.AddHost("dup", "02:aa:00:00:00:41", false, netsim.Pos{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var ack []byte
+	h.OnFrame = func(f []byte) {
+		var d packet.Decoded
+		if d.Decode(f) == nil && d.HasUDP && d.UDP.DstPort == packet.DHCPClientPort {
+			var m packet.DHCP
+			if m.DecodeFromBytes(d.UDP.Payload) == nil && m.MsgType() == packet.DHCPAck {
+				mu.Lock()
+				ack = append([]byte(nil), f...)
+				mu.Unlock()
+			}
+		}
+	}
+	if err := r.JoinHost(h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Bound() {
+		t.Fatal("host did not bind")
+	}
+	mu.Lock()
+	frame := ack
+	mu.Unlock()
+	if frame == nil {
+		t.Fatal("no ACK captured during the handshake")
+	}
+	h.Deliver(frame) // the duplicate: matching XID, state already bound
+	if !h.Bound() {
+		t.Fatal("duplicate ACK disturbed the lease")
 	}
 }

@@ -72,15 +72,23 @@ func (dp *Datapath) ConnectTransport(tr oftransport.Transport) error {
 
 	go dp.expiryLoop()
 
+	// Like the controller's read loop, drain the transport in batches
+	// when it supports it: a flurry of flow-mods and packet-outs from one
+	// dispatched punt burst is handled per wakeup, not per message.
+	var batch []openflow.Message
 	for {
-		msg, err := tr.Recv()
+		var err error
+		batch, err = oftransport.RecvInto(tr, batch)
 		if err != nil {
 			dp.connMu.Lock()
 			dp.tr = nil
 			dp.connMu.Unlock()
 			return channelErr("read", err)
 		}
-		dp.handle(msg)
+		for i, msg := range batch {
+			batch[i] = nil
+			dp.handle(msg)
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/oftransport"
 	"repro/internal/openflow"
 	"repro/internal/packet"
+	"repro/internal/quiesce"
 )
 
 // Port is one switch port. Out delivers frames to whatever the port is
@@ -113,7 +114,12 @@ type Datapath struct {
 	stopMu  sync.Mutex
 	stopped chan struct{}
 
-	punts atomic.Uint64
+	// quiesce is the punt half of the event-driven settle protocol: every
+	// packet-in sent to the controller is counted here before the send,
+	// and the co-resident controller credits the same epoch as it
+	// dispatches (nox.Controller.SetQuiesce), so Router.Settle can block
+	// until the control path drains instead of polling counters.
+	quiesce *quiesce.Epoch
 
 	// scratchMu guards a bounded free-list of action-execution scratch
 	// buffers: the common SET_DL_SRC/SET_DL_DST rewrite copies the frame
@@ -155,6 +161,7 @@ func New(cfg Config) *Datapath {
 		desc:     cfg.Description,
 		started:  cfg.Clock.Now(),
 		stopped:  make(chan struct{}),
+		quiesce:  quiesce.New(),
 	}
 	dp.missSendLen.Store(uint32(cfg.MissSendLen))
 	return dp
@@ -427,12 +434,17 @@ func (dp *Datapath) punt(inPort uint16, frame []byte, reason uint8, p *Port, max
 		Reason:   reason,
 		Data:     append([]byte(nil), data...),
 	}
-	dp.punts.Add(1)
+	dp.quiesce.Punt()
 	dp.send(msg)
 }
 
 // PuntCount returns how many packet-ins have been sent to the controller.
-func (dp *Datapath) PuntCount() uint64 { return dp.punts.Load() }
+func (dp *Datapath) PuntCount() uint64 { return dp.quiesce.Punted() }
+
+// Quiesce exposes the datapath's punt/processed epoch. Hand it to the
+// controller (nox.Controller.SetQuiesce) so waiters can block until every
+// punt has been dispatched; see docs/CONTROL_PLANE.md for the protocol.
+func (dp *Datapath) Quiesce() *quiesce.Epoch { return dp.quiesce }
 
 func (dp *Datapath) buffer(inPort uint16, frame []byte) uint32 {
 	dp.bufMu.Lock()

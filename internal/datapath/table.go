@@ -6,6 +6,15 @@
 // (ConnectTransport with one end of oftransport.Pair) when controller and
 // switch share a process. Orderly channel shutdown surfaces as
 // ErrChannelClosed; protocol failures as *ChannelError.
+//
+// Concurrency: a Datapath is safe for concurrent use. Ports and the flow
+// table are guarded by read-write locks with atomic counters on the
+// lookup path, so frames may be received on many ports at once while the
+// secure-channel goroutine applies flow-mods; anything retained from a
+// caller's buffer (punt buffers, packet-in data) is copied first. Every
+// punt is counted on the datapath's quiesce.Epoch before it is sent, the
+// producer half of the control plane's event-driven settle protocol
+// (docs/CONTROL_PLANE.md).
 package datapath
 
 import (

@@ -7,6 +7,12 @@
 // datapath. The control API permits or denies devices case-by-case
 // (Figure 3's drag-to-permit interface drives exactly these calls), and
 // every lease event is recorded in the hwdb Leases table.
+//
+// Concurrency: the device table is mutex-guarded. Packet-in handling
+// runs on the controller's dispatch goroutine, while Permit/Deny/Lookup
+// and the event subscriptions arrive concurrently from the control API
+// and the admission interfaces; event callbacks fire synchronously on
+// whichever goroutine caused the change.
 package dhcp
 
 import (

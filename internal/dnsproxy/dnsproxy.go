@@ -12,6 +12,13 @@
 // consults that record before admitting a new flow; an unknown destination
 // triggers a reverse (PTR) lookup whose result is checked against the same
 // policy.
+//
+// Concurrency: the pending-query and per-device name tables are
+// mutex-guarded. Packet-in handling and FlowPermitted (called by the
+// forwarder mid-dispatch) run on the controller's dispatch goroutine and
+// never block on the network — a reverse lookup is fired asynchronously
+// and the flow is refused until the answer arrives — while Stats and
+// policy reads may come from any goroutine.
 package dnsproxy
 
 import (

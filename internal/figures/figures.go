@@ -4,6 +4,12 @@
 // stream into hwdb, and each of the four interfaces renders what its
 // screen showed. The cmd/figures binary prints them; bench_test.go times
 // them.
+//
+// Concurrency: each Figure builds, drives and tears down its own
+// isolated platform and shares nothing with other runs, so different
+// figures may regenerate concurrently; a single figure run is
+// internally sequential (traffic is injected, settled and rendered in
+// order).
 package figures
 
 import (

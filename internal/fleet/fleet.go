@@ -11,6 +11,14 @@
 // control transport (core.TransportInProcess): with controller and
 // datapath co-resident there is no reason to pay loopback-TCP framing per
 // home, and no per-home socket pair to exhaust descriptors at scale.
+//
+// Concurrency: shards step concurrently, but within a tick each home is
+// touched only by its own shard, in ascending ID order, and each home's
+// control plane settles event-driven inside its step (Router.Settle —
+// no polling; see docs/CONTROL_PLANE.md). Drive Step from one goroutine
+// at a time; AddHome/RemoveHome may race Step and take effect at the
+// next tick's plan rebuild. Reads (Totals, Telemetry, DB) are safe from
+// any goroutine at any time.
 package fleet
 
 import (
@@ -281,9 +289,10 @@ func (f *Fleet) RemoveHome(id uint64) bool {
 }
 
 // Step advances the whole fleet by dt simulated seconds: every home's
-// traffic applications emit, its control plane settles, and (every
-// MeasureEvery-th step) its measurement plane polls flow and link state
-// into its hwdb. Homes are partitioned across the worker shards by ID
+// traffic applications emit, its control path drains (Router.Settle —
+// an event-driven wait on the punt/processed epoch, not a poll; see
+// docs/CONTROL_PLANE.md), and (every MeasureEvery-th step) its
+// measurement plane polls flow and link state into its hwdb. Homes are partitioned across the worker shards by ID
 // modulo Shards and each shard steps its homes in ascending ID order, so
 // the per-home step sequence is deterministic regardless of scheduling.
 // If the fleet shares a simulated clock, it is advanced by dt after the
@@ -433,7 +442,10 @@ func (f *Fleet) Stop() {
 
 // ---------------------------------------------------------------- homes
 
-// step advances one home by dt simulated seconds.
+// step advances one home by dt simulated seconds: traffic in, then a
+// blocking event-driven wait for the home's control path to drain (no
+// sleeps — Settle returns the moment the controller catches up and a
+// clean barrier crosses), then the optional measurement poll.
 func (h *Home) step(dt float64, measureEvery int) error {
 	h.mu.Lock()
 	h.steps++

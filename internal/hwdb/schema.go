@@ -8,6 +8,12 @@
 // The standard Homework tables are Flows (periodically observed active
 // five-tuples), Links (link-layer information such as MAC address, RSSI and
 // retry counts) and Leases (Ethernet-to-IP address mappings).
+//
+// Concurrency: tables synchronize internally with read-write locks, so
+// inserts, cursor reads (Tail) and queries may run concurrently from any
+// goroutine; OnInsert hooks fire synchronously on the inserting
+// goroutine and must not block. The UDP RPC server runs its own
+// goroutines and serves each subscription independently.
 package hwdb
 
 import (

@@ -3,6 +3,12 @@
 // driver's link state, and streams observations into the hwdb Flows and
 // Links tables that the visualization interfaces subscribe to. (Lease
 // events reach the Leases table directly from the DHCP server.)
+//
+// Concurrency: drive the plane either with Run's single background
+// goroutine or with explicit PollOnce calls, never both at once.
+// RecordFlowRemoved arrives concurrently from the controller's dispatch
+// goroutine; the flow-state cache is mutex-guarded and the hwdb tables
+// synchronize internally.
 package measure
 
 import (

@@ -239,15 +239,21 @@ func (h *Host) handleDHCP(d *packet.Decoded) {
 	if msg.CHAddr != h.MAC {
 		return
 	}
+	// The REQUEST (if any) is sent after the lock is released, but on
+	// this same goroutine: the control plane's quiescence protocol
+	// (docs/CONTROL_PLANE.md) relies on the host stack responding
+	// synchronously within the delivery call, so a settle barrier that
+	// delivered the OFFER observes the REQUEST punt before it completes.
+	var reply []byte
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if msg.XID != h.xid {
+		h.mu.Unlock()
 		return
 	}
 	switch msg.MsgType() {
 	case packet.DHCPOffer:
 		if h.state != dhcpDiscovering {
-			return
+			break
 		}
 		server, _ := msg.ServerID()
 		req := &packet.DHCP{Op: packet.DHCPBootRequest, XID: h.xid, Flags: 0x8000, CHAddr: h.MAC}
@@ -256,13 +262,12 @@ func (h *Host) handleDHCP(d *packet.Decoded) {
 		req.AddIPOption(packet.DHCPOptServerID, server)
 		req.AddOption(packet.DHCPOptHostname, []byte(h.Name))
 		h.state = dhcpRequesting
-		frame := packet.NewDHCPFrame(req, h.MAC, packet.Broadcast,
+		reply = packet.NewDHCPFrame(req, h.MAC, packet.Broadcast,
 			packet.IP4{}, packet.IP4{255, 255, 255, 255},
-			packet.DHCPClientPort, packet.DHCPServerPort)
-		go h.send(frame.Bytes()) // outside the lock
+			packet.DHCPClientPort, packet.DHCPServerPort).Bytes()
 	case packet.DHCPAck:
 		if h.state != dhcpRequesting {
-			return
+			break
 		}
 		h.ip = msg.YIAddr
 		h.mask = 32
@@ -278,6 +283,10 @@ func (h *Host) handleDHCP(d *packet.Decoded) {
 		h.state = dhcpBound
 	case packet.DHCPNak:
 		h.state = dhcpDenied
+	}
+	h.mu.Unlock()
+	if reply != nil {
+		h.send(reply)
 	}
 }
 

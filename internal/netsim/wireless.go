@@ -9,6 +9,14 @@
 // form-factor PC with real Ethernet/WiFi ports): frames enter the datapath
 // through switch ports, so the OpenFlow pipeline, the NOX modules and the
 // measurement plane all run exactly as they would against hardware.
+//
+// Concurrency: drive Step from one goroutine at a time; frames also
+// re-enter concurrently from the control plane (packet-outs delivered on
+// the secure-channel goroutine), so per-host and network-wide state are
+// mutex-guarded. Host stacks respond to deliveries synchronously on the
+// delivering goroutine — a DHCP OFFER produces its REQUEST before
+// Deliver returns — which is the property the control plane's
+// quiescence protocol relies on (docs/CONTROL_PLANE.md).
 package netsim
 
 import (

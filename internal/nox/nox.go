@@ -10,6 +10,19 @@
 // accepts an in-process endpoint (oftransport.Pair) when controller and
 // datapath share a process, as they do on the paper's home router and in
 // every fleet home.
+//
+// Concurrency contract: each attached datapath is serviced by one read
+// loop that drains its transport in batches (oftransport.BatchRecver
+// when available) and dispatches events synchronously, in order, on that
+// loop's goroutine — handlers for one datapath never run concurrently
+// with each other, but handlers for different datapaths do. An event and
+// its Decoded view are valid only for the duration of the dispatch call;
+// a handler that wants to keep anything must copy it out (the batched
+// loop reuses the decode state across the batch). Handler registration
+// (On*) and Register are safe at any time from any goroutine. After each
+// drained batch the controller credits the quiescence epoch attached
+// with SetQuiesce, which is how Router.Settle blocks — event-driven, no
+// polling — until the control path drains (see docs/CONTROL_PLANE.md).
 package nox
 
 import (
@@ -23,6 +36,7 @@ import (
 	"repro/internal/oftransport"
 	"repro/internal/openflow"
 	"repro/internal/packet"
+	"repro/internal/quiesce"
 )
 
 // Disposition is a handler's verdict on an event.
@@ -95,12 +109,33 @@ type Controller struct {
 	MissSendLen uint16
 
 	processed atomic.Uint64
+	quiesce   atomic.Pointer[quiesce.Epoch]
 }
 
-// Processed returns how many packet-in events have completed dispatch;
-// paired with Datapath.PuntCount it lets callers wait for the control path
-// to settle.
+// Processed returns how many packet-in events have completed dispatch.
+// It is a diagnostic counter; waiting for the control path to drain goes
+// through the quiescence epoch (SetQuiesce / core.Router.Settle), not by
+// polling this against Datapath.PuntCount.
 func (c *Controller) Processed() uint64 { return c.processed.Load() }
+
+// SetQuiesce attaches the punt/processed epoch the controller credits as
+// it dispatches packet-ins — the consumer half of the event-driven settle
+// protocol (the co-resident datapath's Punt calls are the producer half).
+// Attach it before the controller serves any transport: dispatches that
+// complete earlier are not credited retroactively.
+func (c *Controller) SetQuiesce(e *quiesce.Epoch) { c.quiesce.Store(e) }
+
+// noteProcessed credits n completed packet-in dispatches — once per
+// drained batch, so a burst of punts costs one epoch broadcast.
+func (c *Controller) noteProcessed(n int) {
+	if n <= 0 {
+		return
+	}
+	c.processed.Add(uint64(n))
+	if e := c.quiesce.Load(); e != nil {
+		e.Done(n)
+	}
+}
 
 // NewController creates an empty controller.
 func NewController() *Controller {
@@ -349,11 +384,19 @@ func (c *Controller) ServeTransport(tr oftransport.Transport) error {
 	return err
 }
 
-func (c *Controller) dispatchPacketIn(ev *PacketInEvent) {
+// packetInHandlers snapshots the packet-in handler chain. The switch
+// read loop takes one snapshot per drained batch (not per punt) and runs
+// it with dispatchPacketIn; the quiescence epoch is credited via
+// noteProcessed after the whole batch.
+func (c *Controller) packetInHandlers() []func(*PacketInEvent) Disposition {
 	c.mu.RLock()
 	handlers := append([]func(*PacketInEvent) Disposition{}, c.packetIn...)
 	c.mu.RUnlock()
-	defer c.processed.Add(1)
+	return handlers
+}
+
+// dispatchPacketIn runs a snapshotted handler chain for one punt.
+func dispatchPacketIn(handlers []func(*PacketInEvent) Disposition, ev *PacketInEvent) {
 	for _, fn := range handlers {
 		if fn(ev) == Stop {
 			return

@@ -45,9 +45,22 @@ func (sw *Switch) Send(msg openflow.Message) error {
 
 // readLoop services switch-to-controller messages, routing replies to
 // pending synchronous requests and everything else to event handlers.
+//
+// The loop is batched: when the transport supports it (the in-process
+// channel), every message already queued is drained into a reused slice
+// per wakeup, so a burst of punts from one ReceiveBatch tick costs one
+// wakeup and one quiescence broadcast instead of N. The decode state and
+// the packet-in event are also reused across the batch — handlers own
+// them only for the duration of the dispatch (see the package comment).
 func (sw *Switch) readLoop() error {
+	var (
+		batch []openflow.Message
+		d     packet.Decoded
+		ev    PacketInEvent
+	)
 	for {
-		msg, err := sw.tr.Recv()
+		var err error
+		batch, err = oftransport.RecvInto(sw.tr, batch)
 		if err != nil {
 			sw.close()
 			sw.failPending(err)
@@ -56,29 +69,43 @@ func (sw *Switch) readLoop() error {
 			}
 			return err
 		}
-		xid := msg.Hdr().XID
-		if ch := sw.takePending(xid); ch != nil {
-			ch <- msg
-			continue
+		// The handler chain is snapshotted at most once per drained
+		// batch, on its first punt.
+		var handlers []func(*PacketInEvent) Disposition
+		punts := 0
+		for i, msg := range batch {
+			batch[i] = nil
+			xid := msg.Hdr().XID
+			if ch := sw.takePending(xid); ch != nil {
+				ch <- msg
+				continue
+			}
+			switch m := msg.(type) {
+			case *openflow.EchoRequest:
+				rep := &openflow.EchoReply{Data: m.Data}
+				rep.Header.XID = m.Header.XID
+				_ = sw.Send(rep)
+			case *openflow.PacketIn:
+				if handlers == nil {
+					handlers = sw.ctl.packetInHandlers()
+				}
+				_ = d.Decode(m.Data) // partial decode is fine; handlers check Has*
+				ev = PacketInEvent{Switch: sw, Msg: m, Decoded: &d}
+				dispatchPacketIn(handlers, &ev)
+				punts++
+			case *openflow.FlowRemoved:
+				sw.ctl.dispatchFlowRemoved(&FlowRemovedEvent{Switch: sw, Msg: m})
+			case *openflow.PortStatus:
+				sw.ctl.dispatchPortStatus(&PortStatusEvent{Switch: sw, Msg: m})
+			case *openflow.ErrorMsg:
+				// Errors not tied to a pending request are logged by dropping;
+				// a production controller would surface these.
+			default:
+				// Unsolicited replies (stats for timed-out requests etc.).
+			}
 		}
-		switch m := msg.(type) {
-		case *openflow.EchoRequest:
-			rep := &openflow.EchoReply{Data: m.Data}
-			rep.Header.XID = m.Header.XID
-			_ = sw.Send(rep)
-		case *openflow.PacketIn:
-			var d packet.Decoded
-			_ = d.Decode(m.Data) // partial decode is fine; handlers check Has*
-			sw.ctl.dispatchPacketIn(&PacketInEvent{Switch: sw, Msg: m, Decoded: &d})
-		case *openflow.FlowRemoved:
-			sw.ctl.dispatchFlowRemoved(&FlowRemovedEvent{Switch: sw, Msg: m})
-		case *openflow.PortStatus:
-			sw.ctl.dispatchPortStatus(&PortStatusEvent{Switch: sw, Msg: m})
-		case *openflow.ErrorMsg:
-			// Errors not tied to a pending request are logged by dropping;
-			// a production controller would surface these.
-		default:
-			// Unsolicited replies (stats for timed-out requests etc.).
+		if punts > 0 {
+			sw.ctl.noteProcessed(punts)
 		}
 	}
 }

@@ -10,6 +10,12 @@
 // the wire codec is optional: co-resident endpoints can exchange the
 // decoded Message values directly through oftransport's in-process
 // transport and skip serialization entirely.
+//
+// Concurrency: Encode and Decode are pure functions of their inputs and
+// safe to call from any goroutine. Message values carry no
+// synchronization — build one, hand it to a transport, and do not
+// mutate it afterwards (the in-process transport passes the same
+// pointer to the receiver).
 package openflow
 
 import (

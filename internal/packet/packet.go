@@ -7,6 +7,12 @@
 // paths can reuse preallocated layer values without per-packet allocation.
 // Addresses are fixed-size arrays (not slices) so they are comparable and can
 // be used directly as map keys.
+//
+// Concurrency: layer values, Decoded and FrameBatch carry no
+// synchronization — reuse each from one goroutine at a time. A Decoded's
+// byte-slice fields alias the frame it parsed, so it is valid only until
+// that buffer is reused; the control plane's batched dispatch documents
+// the same rule for handlers (see internal/nox).
 package packet
 
 import (

@@ -6,6 +6,11 @@
 // physical key that mediates it; the engine compiles the active policy set
 // into per-device network and DNS access restrictions that the DNS proxy
 // and the router's forwarding module enforce.
+//
+// Concurrency: the engine is mutex-guarded, so installs, removals and
+// key events from the control API safely race AccessFor reads from the
+// DNS proxy and forwarder on the controller's dispatch goroutine.
+// OnChange callbacks fire synchronously on the mutating goroutine.
 package policy
 
 import (

@@ -1,0 +1,170 @@
+package quiesce
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestZeroBacklogReturnsImmediately(t *testing.T) {
+	e := New()
+	if err := e.Wait(0); err != nil {
+		t.Fatalf("Wait on quiescent epoch: %v", err)
+	}
+	e.Punt()
+	e.Done(1)
+	if err := e.Wait(0); err != nil {
+		t.Fatalf("Wait after catch-up: %v", err)
+	}
+	if p, d := e.Counts(); p != 1 || d != 1 {
+		t.Fatalf("counts = (%d, %d), want (1, 1)", p, d)
+	}
+}
+
+func TestWaitBlocksUntilDone(t *testing.T) {
+	e := New()
+	e.Punt()
+	returned := make(chan error, 1)
+	go func() { returned <- e.Wait(5 * time.Second) }()
+
+	// The waiter must not return while punted > processed. A short grace
+	// window catches an early return without turning the test flaky.
+	select {
+	case err := <-returned:
+		t.Fatalf("Wait returned early (err=%v) with backlog outstanding", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	e.Done(1)
+	select {
+	case err := <-returned:
+		if err != nil {
+			t.Fatalf("Wait after Done: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait missed the catch-up wakeup")
+	}
+}
+
+func TestWaitDeadline(t *testing.T) {
+	e := New()
+	e.Punt() // never processed: a wedged consumer
+	start := time.Now()
+	err := e.Wait(30 * time.Millisecond)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("Wait = %v, want ErrDeadline", err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("Wait returned after %v, before the deadline", elapsed)
+	}
+	if err := e.Wait(0); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("non-blocking Wait with backlog = %v, want ErrDeadline", err)
+	}
+}
+
+func TestNewPuntsRaiseTheTarget(t *testing.T) {
+	e := New()
+	e.Punt()
+	returned := make(chan error, 1)
+	go func() { returned <- e.Wait(5 * time.Second) }()
+
+	// Catch up, but punt again immediately: the waiter may wake for the
+	// first broadcast but must re-check and keep waiting for the second
+	// punt before returning.
+	e.Punt()
+	e.Done(1)
+	select {
+	case <-returned:
+		t.Fatal("Wait returned with the second punt outstanding")
+	case <-time.After(20 * time.Millisecond):
+	}
+	e.Done(1)
+	if err := <-returned; err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+}
+
+// TestConcurrentPuntsAndWaiters hammers the epoch from concurrent
+// producers, a consumer and many Settle-like waiters under -race: every
+// wakeup must arrive (no Wait may hit its generous deadline) and no Wait
+// may return early (each return must observe processed >= the punts
+// outstanding when it entered).
+func TestConcurrentPuntsAndWaiters(t *testing.T) {
+	const (
+		producers = 4
+		puntsEach = 2000
+		waiters   = 8
+	)
+	e := New()
+	var produced atomic.Uint64
+	var wg sync.WaitGroup
+
+	// Consumer: drain whatever the producers have emitted, in batches,
+	// like the controller's batched dispatch loop.
+	consumerDone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var credited uint64
+		for credited < producers*puntsEach {
+			p := e.Punted()
+			if p > credited {
+				e.Done(int(p - credited))
+				credited = p
+			}
+		}
+		close(consumerDone)
+	}()
+
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < puntsEach; j++ {
+				e.Punt()
+				produced.Add(1)
+			}
+		}()
+	}
+
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				target := produced.Load()
+				if err := e.Wait(10 * time.Second); err != nil {
+					errs <- err
+					return
+				}
+				// No early return: Wait's contract is processed >= punted
+				// at some instant after entry, so everything produced
+				// before entry must have been credited.
+				if _, processed := e.Counts(); processed < target {
+					errs <- errors.New("Wait returned before catching the pre-entry backlog")
+					return
+				}
+				select {
+				case <-consumerDone:
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if p, d := e.Counts(); p != producers*puntsEach || d < p {
+		t.Fatalf("counts = (%d, %d), want (%d, >=punted)", p, d, producers*puntsEach)
+	}
+	if err := e.Wait(0); err != nil {
+		t.Fatalf("final Wait: %v", err)
+	}
+}

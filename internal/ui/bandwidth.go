@@ -6,6 +6,11 @@
 // policy interface (Figure 4). Each model renders to text so examples,
 // tests and the figures harness can show exactly what the paper's screens
 // showed.
+//
+// Concurrency: display models hold no locks of their own — each Render
+// runs on its caller's goroutine over hwdb query results and module
+// snapshots that are internally consistent. Share a model across
+// goroutines only if the callers serialize.
 package ui
 
 import (

@@ -10,6 +10,11 @@
 // On real hardware udev fires an event when the stick is inserted; here a
 // poll of the directory plays that role (Scan is also callable directly,
 // which is how the examples and benches simulate insertion).
+//
+// Concurrency: the monitor's state is mutex-guarded; Run polls on its
+// caller's goroutine until Stop, Scan may also be called directly from
+// any goroutine, and key events fire synchronously on whichever
+// goroutine scanned.
 package usbmon
 
 import (
