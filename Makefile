@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the scenario-matrix perf trajectory — fleet step scaling,
+# settle latency, live telemetry, and the traced-vs-untraced overhead
+# pair — and records the measured numbers as BENCH_6.json. The JSON is
+# committed so the trajectory stays comparable across PRs; CI gates that
+# it parses and carries the headline benchmarks.
+BENCH_PATTERN := ^(BenchmarkFleetStep|BenchmarkSettleLatency|BenchmarkFleetTelemetry|BenchmarkTraceOverhead)$$
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1s -timeout 30m . | tee bench_6.txt
+	$(GO) run ./cmd/benchjson < bench_6.txt > BENCH_6.json
+	@rm -f bench_6.txt
+	@echo "wrote BENCH_6.json"

@@ -1,0 +1,69 @@
+package homework
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestBenchRecordParses gates the committed perf trajectory: BENCH_6.json
+// (written by `make bench` via cmd/benchjson) must parse and carry real
+// measurements for the headline benchmarks — fleet step scaling, settle
+// latency, live telemetry — plus the traced/untraced overhead pair, so a
+// PR cannot silently ship a stale or hand-edited record.
+func TestBenchRecordParses(t *testing.T) {
+	data, err := os.ReadFile("BENCH_6.json")
+	if err != nil {
+		t.Fatalf("BENCH_6.json missing (run `make bench`): %v", err)
+	}
+	var doc struct {
+		Benchmarks []struct {
+			Name       string             `json:"name"`
+			Iterations int64              `json:"iterations"`
+			Metrics    map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_6.json does not parse: %v", err)
+	}
+	headlines := []string{
+		"BenchmarkFleetStep",
+		"BenchmarkSettleLatency",
+		"BenchmarkFleetTelemetry",
+		"BenchmarkTraceOverhead",
+	}
+	for _, headline := range headlines {
+		found := 0
+		for _, b := range doc.Benchmarks {
+			if b.Name != headline && !strings.HasPrefix(b.Name, headline+"/") &&
+				!strings.HasPrefix(b.Name, headline+"-") {
+				continue
+			}
+			if b.Iterations <= 0 {
+				t.Errorf("%s: iterations = %d", b.Name, b.Iterations)
+			}
+			if b.Metrics["ns/op"] <= 0 {
+				t.Errorf("%s: ns/op = %v", b.Name, b.Metrics["ns/op"])
+			}
+			found++
+		}
+		if found == 0 {
+			t.Errorf("BENCH_6.json has no %s results", headline)
+		}
+	}
+
+	// The overhead pair must both be present so the ≤5% tracing budget is
+	// checkable from the committed record alone.
+	for _, mode := range []string{"traced", "untraced"} {
+		found := false
+		for _, b := range doc.Benchmarks {
+			if strings.Contains(b.Name, "BenchmarkTraceOverhead/"+mode) {
+				found = b.Metrics["home-steps/s"] > 0
+			}
+		}
+		if !found {
+			t.Errorf("BENCH_6.json lacks a home-steps/s figure for BenchmarkTraceOverhead/%s", mode)
+		}
+	}
+}

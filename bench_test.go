@@ -518,9 +518,37 @@ func BenchmarkFleetStep(b *testing.B) {
 }
 
 func benchFleetStep(b *testing.B, homes int, kind core.TransportKind) {
+	benchFleetStepCfg(b, homes, kind, false)
+}
+
+// BenchmarkTraceOverhead prices the always-on punt-lifecycle tracing: the
+// identical 64-home in-process FleetStep workload with tracing enabled
+// (the shipped default) and disabled (core.Config.DisableTrace). Compare
+// the two home-steps/s figures; the acceptance bar is a ≤5% gap. Tracing
+// is a handful of atomic stores per punt against a control path that
+// decodes, policy-checks and installs a flow, so the gap sits in the
+// noise floor of the step benchmark.
+func BenchmarkTraceOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"traced", false},
+		{"untraced", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			benchFleetStepCfg(b, 64, core.TransportInProcess, mode.disable)
+		})
+	}
+}
+
+func benchFleetStepCfg(b *testing.B, homes int, kind core.TransportKind, disableTrace bool) {
 	f := fleet.New(fleet.Config{
 		Clock: clock.NewSimulated(), Seed: 5,
-		HomeConfig: func(id uint64, cfg *core.Config) { cfg.Transport = kind },
+		HomeConfig: func(id uint64, cfg *core.Config) {
+			cfg.Transport = kind
+			cfg.DisableTrace = disableTrace
+		},
 	})
 	b.Cleanup(f.Stop)
 	if _, err := f.AddHomes(homes); err != nil {

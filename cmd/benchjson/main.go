@@ -1,0 +1,79 @@
+// Command benchjson converts `go test -bench` text output (stdin) into a
+// stable JSON document (stdout) recording each benchmark's iteration
+// count and every reported metric (ns/op, B/op, allocs/op, and custom
+// b.ReportMetric units such as home-steps/s). `make bench` pipes the
+// scenario-matrix run through it to produce the committed BENCH_<n>.json
+// perf-trajectory records that CI gates on.
+//
+//	go test -run '^$' -bench . . | benchjson > BENCH_6.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchmark is one parsed result line.
+type benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var doc document
+	for sc.Scan() {
+		if bm, ok := parseLine(sc.Text()); ok {
+			doc.Benchmarks = append(doc.Benchmarks, bm)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine reads one "BenchmarkName-P  N  <value unit>..." result line.
+// Anything else (headers, PASS/ok trailers, log output) is skipped.
+func parseLine(line string) (benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || iters <= 0 {
+		return benchmark{}, false
+	}
+	bm := benchmark{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchmark{}, false
+		}
+		bm.Metrics[fields[i+1]] = v
+	}
+	return bm, true
+}

@@ -11,6 +11,12 @@
 //	hwctl -api ... insert-key parent-key
 //	hwctl -api ... remove-key parent-key
 //	hwctl -api ... access 02:aa:00:00:00:01
+//	hwctl -api ... trace
+//
+// trace prints the router's punt-lifecycle latency summary: one row per
+// control-plane stage transition (punt->dispatch, dispatch->emit, ...)
+// with count, p50/p99/max/mean — the always-on tracing described in
+// docs/CONTROL_PLANE.md.
 package main
 
 import (
@@ -40,6 +46,8 @@ func main() {
 		err = get(base + "/api/policies")
 	case "status":
 		err = get(base + "/api/status")
+	case "trace":
+		err = get(base + "/api/trace")
 	case "permit", "deny":
 		need(args, 2)
 		err = post(base+"/api/devices/"+args[1]+"/"+args[0], nil)
@@ -82,7 +90,7 @@ func need(args []string, n int) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: hwctl [-api URL] <command> [args]
-commands: status devices permit deny annotate access
+commands: status devices permit deny annotate access trace
           policies install-policy remove-policy insert-key remove-key`)
 	os.Exit(2)
 }

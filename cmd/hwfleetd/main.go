@@ -5,22 +5,33 @@
 // FleetStats view.
 //
 //	hwfleetd [-homes 64] [-hosts 3] [-shards 8] [-duration 10] [-scenario fleet.json]
-//	         [-stats 127.0.0.1:0] [-linger 30s]
+//	         [-stats 127.0.0.1:0] [-linger 30s] [-debug-addr 127.0.0.1:6060]
 //
 // Flags override the scenario (default or loaded from -scenario JSON).
-// On completion it prints the run report plus the busiest homes from the
-// aggregated view, and with -cql executes one more query against it.
+// On completion it prints the run report — including the fleet-merged
+// punt-lifecycle trace summary and FlowPerf loss totals — plus the
+// busiest homes from the aggregated view, and with -cql executes one
+// more query against it.
 //
 // With -stats, a streaming telemetry endpoint serves the live fleet view
-// over UDP for the whole run (HWDB/1 framing: EXEC CQL, STATS, and FLEET
-// subscriptions pushing per-home deltas); -linger keeps the process (and
-// the endpoint) alive after the run so clients can keep querying.
+// over UDP for the whole run (HWDB/1 framing: EXEC CQL, STATS, TRACE,
+// and FLEET subscriptions pushing per-home deltas); -linger keeps the
+// process (and the endpoint) alive after the run so clients can keep
+// querying.
+//
+// With -debug-addr (off by default), an HTTP debug endpoint serves
+// net/http/pprof profiles under /debug/pprof/ and expvar counters under
+// /debug/vars, with the live fleet trace summary published as the
+// "trace" expvar.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -39,6 +50,7 @@ func main() {
 	cql := flag.String("cql", "", "extra CQL query to run against the FleetStats view")
 	stats := flag.String("stats", "", "serve the streaming telemetry endpoint on this UDP address")
 	linger := flag.Duration("linger", 0, "keep serving telemetry this long after the run")
+	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar debug HTTP on this address (off when empty)")
 	quiet := flag.Bool("q", false, "suppress progress lines")
 	flag.Parse()
 
@@ -79,13 +91,22 @@ func main() {
 		runner.Logf = log.Printf
 	}
 	var statsSrv *telemetry.Server
-	if *stats != "" {
-		runner.OnFleet = func(f *fleet.Fleet) {
+	runner.OnFleet = func(f *fleet.Fleet) {
+		if *stats != "" {
 			statsSrv = telemetry.NewServer(f.Telemetry())
+			statsSrv.SetTraceSource(f.TraceStats)
 			if err := statsSrv.Serve(*stats); err != nil {
 				log.Fatal(err)
 			}
-			log.Printf("telemetry endpoint on udp://%s (EXEC | STATS | SUBSCRIBE FLEET EVERY ...)", statsSrv.Addr())
+			log.Printf("telemetry endpoint on udp://%s (EXEC | STATS | TRACE | SUBSCRIBE FLEET EVERY ...)", statsSrv.Addr())
+		}
+		if *debugAddr != "" {
+			expvar.Publish("trace", expvar.Func(func() any { return f.TraceStats() }))
+			go func() {
+				// DefaultServeMux carries the pprof and expvar handlers.
+				log.Printf("debug endpoint on http://%s/debug/pprof/ and /debug/vars", *debugAddr)
+				log.Fatal(http.ListenAndServe(*debugAddr, nil))
+			}()
 		}
 	}
 
@@ -104,6 +125,23 @@ func main() {
 	fmt.Printf("flows     %d observations, %d packets, %d bytes\n",
 		rep.Totals.Flows, rep.Totals.Packets, rep.Totals.Bytes)
 	fmt.Printf("links     %d observations (%d rows lost to ring wrap)\n", rep.Totals.Links, rep.Totals.Lost)
+	if tot := runner.Fleet().Telemetry().Totals(); tot.PerfRows > 0 {
+		lossPct := 100 * float64(tot.LostPkts) / float64(tot.TxPkts)
+		fmt.Printf("flowperf  %d rows: %d tx pkts, %d lost (%.2f%%)",
+			tot.PerfRows, tot.TxPkts, tot.LostPkts, lossPct)
+		if tot.Installs > 0 {
+			fmt.Printf(", mean rule install %dµs over %d flows",
+				tot.InstallUSSum/tot.Installs, tot.Installs)
+		}
+		fmt.Println()
+	}
+	if stats := runner.Fleet().TraceStats(); len(stats) > 0 && stats[0].Count > 0 {
+		fmt.Println("trace (per-stage latency, fleet-merged):")
+		for _, st := range stats {
+			fmt.Printf("  %-17s %8d spans  p50 %7.1fµs  p99 %7.1fµs  max %7.1fµs\n",
+				st.Stage, st.Count, st.P50NS/1e3, st.P99NS/1e3, float64(st.MaxNS)/1e3)
+		}
+	}
 	if len(rep.TopHomes) > 0 {
 		fmt.Println("top homes by folded bytes:")
 		for _, h := range rep.TopHomes {

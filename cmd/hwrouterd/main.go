@@ -3,6 +3,7 @@
 // UDP RPC for measurement subscribers, and the REST control API.
 //
 //	hwrouterd [-api 127.0.0.1:8077] [-duration 30s] [-bw] [-transport tcp]
+//	          [-debug-addr 127.0.0.1:6060]
 //
 // With -bw it prints the per-device bandwidth view once a second (the
 // Figure-1 display); otherwise it logs the platform's endpoints and idles
@@ -10,12 +11,21 @@
 // loopback TCP by default — hwrouterd is the cross-process deployment
 // shape — but -transport inprocess selects the fleet's zero-copy channel
 // transport instead.
+//
+// With -debug-addr (off by default), an HTTP debug endpoint serves
+// net/http/pprof profiles under /debug/pprof/ and expvar counters under
+// /debug/vars, with the router's punt-lifecycle trace summary published
+// as the "trace" expvar. The same summary is always available through
+// `hwctl trace` (GET /api/trace).
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -30,6 +40,7 @@ func main() {
 	showBW := flag.Bool("bw", false, "print the bandwidth view every second")
 	transport := flag.String("transport", string(core.TransportTCP),
 		"controller↔datapath transport: tcp or inprocess")
+	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar debug HTTP on this address (off when empty)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -45,6 +56,14 @@ func main() {
 	defer rt.Stop()
 	if err := rt.API.ListenAndServe(*apiAddr); err != nil {
 		log.Fatal(err)
+	}
+	if *debugAddr != "" {
+		expvar.Publish("trace", expvar.Func(func() any { return rt.Tracer.Stats() }))
+		go func() {
+			// DefaultServeMux carries the pprof and expvar handlers.
+			log.Printf("debug endpoint on http://%s/debug/pprof/ and /debug/vars", *debugAddr)
+			log.Fatal(http.ListenAndServe(*debugAddr, nil))
+		}()
 	}
 
 	devices := []struct {

@@ -17,6 +17,7 @@
 //	POST   /api/keys/{id}/insert      simulate/register USB key insertion
 //	POST   /api/keys/{id}/remove      USB key removal
 //	GET    /api/access/{mac}          effective restriction for a device
+//	GET    /api/trace                 punt-lifecycle per-stage latency summary
 //
 // Concurrency: the API holds no mutable state of its own. Each request
 // runs on its own HTTP-server goroutine and delegates to the DHCP server
@@ -37,6 +38,7 @@ import (
 	"repro/internal/nox"
 	"repro/internal/packet"
 	"repro/internal/policy"
+	"repro/internal/trace"
 )
 
 // API is the control API module.
@@ -47,6 +49,10 @@ type API struct {
 	// OnChange, when set, runs after any control operation that changes
 	// enforcement state (used to flush datapath flows).
 	OnChange func()
+	// Trace, when set, supplies the router's punt-lifecycle per-stage
+	// latency summaries for GET /api/trace (the hwctl trace view). The
+	// router wires it to its tracer; nil serves an empty list.
+	Trace func() []trace.StageStats
 
 	mux *http.ServeMux
 	srv *http.Server
@@ -140,6 +146,14 @@ func (a *API) routes() {
 			"devices":  len(a.DHCP.Devices()),
 			"policies": len(a.Policy.Policies()),
 		})
+	})
+
+	a.mux.HandleFunc("GET /api/trace", func(w http.ResponseWriter, r *http.Request) {
+		stats := []trace.StageStats{}
+		if a.Trace != nil {
+			stats = a.Trace()
+		}
+		writeJSON(w, http.StatusOK, stats)
 	})
 
 	a.mux.HandleFunc("GET /api/devices", func(w http.ResponseWriter, r *http.Request) {

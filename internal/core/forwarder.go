@@ -50,6 +50,11 @@ type Forwarder struct {
 	HardTimeout uint16
 	// DropIdleTimeout bounds how long a denial is cached in the table.
 	DropIdleTimeout uint16
+	// OnInstall, when set, observes each forwarding entry the instant its
+	// flow-mod is emitted. It runs on the controller's dispatch goroutine
+	// (the router uses it to record punt-to-install latency into the
+	// measurement plane); keep it cheap and non-blocking.
+	OnInstall func(m *openflow.Match)
 
 	mu        sync.Mutex
 	macPort   map[packet.MAC]uint16
@@ -223,6 +228,9 @@ func (f *Forwarder) handleIPv4(ev *nox.PacketInEvent) nox.Disposition {
 	f.mu.Unlock()
 	_ = ev.Switch.InstallFlow(m, PriorityForward, f.IdleTimeout, f.HardTimeout,
 		actions, nox.WithBuffer(ev.Msg.BufferID), nox.WithFlowRemoved())
+	if f.OnInstall != nil {
+		f.OnInstall(&m)
+	}
 	return nox.Stop
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/openflow"
 	"repro/internal/packet"
 	"repro/internal/policy"
+	"repro/internal/trace"
 )
 
 // TransportKind selects how the NOX controller and the datapath exchange
@@ -67,6 +68,14 @@ type Config struct {
 	// Transport selects the controller↔datapath channel
 	// (TransportInProcess when empty).
 	Transport TransportKind
+	// DisableTrace turns the always-on punt-lifecycle tracer off. Only
+	// the trace-overhead benchmark should need it: tracing's span-record
+	// path is allocation-free and budgeted at <=5% of fleet step
+	// throughput, so production deployments leave it on.
+	DisableTrace bool
+	// TraceRing bounds the per-home span ring (default
+	// trace.DefaultRingSize; overwrite-oldest).
+	TraceRing int
 	// SettleTimeout bounds how long Settle (and JoinHost, which settles
 	// between DHCP attempts) will wait for the control path to drain
 	// before reporting a wedged controller (default 5s). It is an error
@@ -109,6 +118,10 @@ type Router struct {
 	API        *controlapi.API
 	Forwarder  *Forwarder
 	Measure    *measure.Plane
+	// Tracer holds the home's punt-lifecycle spans and per-stage latency
+	// histograms (nil when Config.DisableTrace; trace methods are
+	// nil-safe, so readers need no guard).
+	Tracer *trace.Tracer
 
 	sw *nox.Switch
 }
@@ -157,9 +170,13 @@ func New(cfg Config) (*Router, error) {
 	r.DB = hwdb.NewHomework(cfg.Clock, cfg.RingSize)
 	r.Policy = policy.NewEngine(cfg.Clock)
 
+	if !cfg.DisableTrace {
+		r.Tracer = trace.New(cfg.TraceRing)
+	}
 	r.Datapath = datapath.New(datapath.Config{
 		ID: 0x00163e000001, Clock: cfg.Clock,
 		Description: "Homework home router",
+		Tracer:      r.Tracer,
 	})
 	r.Net = netsim.New(r.Datapath, netsim.DefaultWireless(cfg.Seed))
 	if cfg.DirectL2 {
@@ -208,6 +225,9 @@ func New(cfg Config) (*Router, error) {
 	// of transport (they are co-resident even on the TCP loopback path),
 	// so Settle blocks on catch-up instead of polling counters.
 	r.Controller.SetQuiesce(r.Datapath.Quiesce())
+	// The same co-residence shares the tracer: the datapath stamps punts,
+	// the controller stamps dispatch/emit/credit/barrier.
+	r.Controller.SetTracer(r.Tracer)
 	// Registration order is the dispatch order: DHCP and DNS consume
 	// their protocols before the forwarder sees anything.
 	for _, comp := range []nox.Component{r.DHCP, r.DNS, r.API, r.Forwarder} {
@@ -227,6 +247,13 @@ func New(cfg Config) (*Router, error) {
 	r.Controller.OnFlowRemoved(func(ev *nox.FlowRemovedEvent) {
 		r.Measure.RecordFlowRemoved(&ev.Msg.Match, ev.Msg.PacketCount, ev.Msg.ByteCount)
 	})
+	// Each forwarding rule's install latency — punt to flow-mod emission,
+	// read off the in-flight span — lands in the flow's FlowPerf row.
+	r.Forwarder.OnInstall = func(m *openflow.Match) {
+		r.Measure.RecordInstall(m, r.Tracer.DispatchLatencyNS())
+	}
+	// hwctl trace / the REST surface read the same per-stage summaries.
+	r.API.Trace = r.Tracer.Stats
 	return r, nil
 }
 

@@ -168,6 +168,29 @@ func TestEndToEndFlowAndMeasurement(t *testing.T) {
 		t.Errorf("laptop's flows not attributed: %v", res.Rows)
 	}
 
+	// FlowPerf pairs tx with rx across the device's ingress hop and
+	// carries the rule-install latency on each flow's first observation.
+	res, err = r.DB.Query("SELECT tx_pkts, rx_pkts, lost_pkts, install_us FROM FlowPerf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no FlowPerf rows after traffic and a measurement poll")
+	}
+	installSeen := false
+	for _, row := range res.Rows {
+		tx, rx, lost, us := row[0].Int, row[1].Int, row[2].Int, row[3].Int
+		if rx <= 0 || tx != rx+lost {
+			t.Errorf("FlowPerf accounting broken: tx=%d rx=%d lost=%d", tx, rx, lost)
+		}
+		if us > 0 {
+			installSeen = true
+		}
+	}
+	if !installSeen {
+		t.Error("no FlowPerf row carries a rule-install latency")
+	}
+
 	// Links table fills from the wireless model for wireless stations.
 	res, err = r.DB.Query("SELECT count(*) FROM Links")
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/openflow"
 	"repro/internal/packet"
 	"repro/internal/quiesce"
+	"repro/internal/trace"
 )
 
 // Port is one switch port. Out delivers frames to whatever the port is
@@ -86,6 +87,12 @@ type Config struct {
 	NBuffers    int    // packet-in buffer slots (default 256)
 	MissSendLen uint16 // default 128
 	Description string
+	// Tracer, when set, opens a punt-lifecycle span for every packet-in
+	// (trace.Tracer is nil-safe, so leaving it unset disables tracing with
+	// no branch beyond the nil-receiver check). Hand the same tracer to
+	// the co-resident controller (nox.Controller.SetTracer) exactly as the
+	// quiescence epoch is shared.
+	Tracer *trace.Tracer
 }
 
 // Datapath is the software switch.
@@ -120,6 +127,10 @@ type Datapath struct {
 	// dispatches (nox.Controller.SetQuiesce), so Router.Settle can block
 	// until the control path drains instead of polling counters.
 	quiesce *quiesce.Epoch
+
+	// tracer opens a span per punt, stamped alongside the quiesce count
+	// (nil when tracing is disabled; every trace method is nil-safe).
+	tracer *trace.Tracer
 
 	// scratchMu guards a bounded free-list of action-execution scratch
 	// buffers: the common SET_DL_SRC/SET_DL_DST rewrite copies the frame
@@ -162,6 +173,7 @@ func New(cfg Config) *Datapath {
 		started:  cfg.Clock.Now(),
 		stopped:  make(chan struct{}),
 		quiesce:  quiesce.New(),
+		tracer:   cfg.Tracer,
 	}
 	dp.missSendLen.Store(uint32(cfg.MissSendLen))
 	return dp
@@ -435,6 +447,7 @@ func (dp *Datapath) punt(inPort uint16, frame []byte, reason uint8, p *Port, max
 		Data:     append([]byte(nil), data...),
 	}
 	dp.quiesce.Punt()
+	dp.tracer.Punt()
 	dp.send(msg)
 }
 

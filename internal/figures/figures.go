@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/packet"
@@ -257,7 +258,10 @@ func Figure3() (string, error) {
 // Figure4 regenerates the USB policy interface: the cartoon compiles to a
 // policy carried on a USB key; insertion enacts it and removal revokes it.
 func Figure4(usbRoot string) (string, error) {
-	h, err := startHome(nil)
+	// The cartoon's Mon–Fri schedule is evaluated against the router's
+	// policy clock; pin it to the simulated epoch (a Monday) so the
+	// figure regenerates identically on any day of the week.
+	h, err := startHome(func(c *core.Config) { c.Clock = clock.NewSimulated() })
 	if err != nil {
 		return "", err
 	}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/packet"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Config parameterizes a fleet.
@@ -64,6 +65,12 @@ type Config struct {
 	// onStep observes scheduler activity (tests only): it runs inside
 	// the worker, before the home is stepped.
 	onStep func(shard int, home uint64, step uint64)
+}
+
+// watchedTables are the per-home hwdb tables every home streams into the
+// telemetry hub (and unwatches on removal — keep the two in lockstep).
+var watchedTables = []string{
+	hwdb.TableFlows, hwdb.TableLinks, hwdb.TableLeases, hwdb.TableFlowPerf,
 }
 
 // Home is one managed Homework deployment within a fleet.
@@ -201,7 +208,7 @@ func (f *Fleet) AddHome() (*Home, error) {
 	// Feed the home's measurement tables into the telemetry hub: from
 	// here on, every hwdb insert streams into the live fleet view.
 	f.folder.AddHome(id, rt.Net.HostCount)
-	for _, name := range []string{hwdb.TableFlows, hwdb.TableLinks, hwdb.TableLeases} {
+	for _, name := range watchedTables {
 		if t, ok := rt.DB.Table(name); ok {
 			f.hub.Watch(telemetry.SourceID{Home: id, Table: name}, t)
 		}
@@ -280,7 +287,7 @@ func (f *Fleet) RemoveHome(id uint64) bool {
 		return false
 	}
 	h.Router.Stop()
-	for _, name := range []string{hwdb.TableFlows, hwdb.TableLinks, hwdb.TableLeases} {
+	for _, name := range watchedTables {
 		f.hub.Unwatch(telemetry.SourceID{Home: id, Table: name})
 	}
 	f.folder.RemoveHome(id)
@@ -408,6 +415,21 @@ func (f *Fleet) totals() FleetTotals {
 // rates, per-home cumulative totals, and the view database. The
 // telemetry.Server streaming endpoint is built over it.
 func (f *Fleet) Telemetry() *telemetry.Folder { return f.folder }
+
+// TraceStats merges every live home's punt-lifecycle trace histograms
+// into one fleet-wide per-stage latency summary (p50/p99/max/mean per
+// contract transition). Homes built with core.Config.DisableTrace
+// contribute nothing. Safe to call from any goroutine, concurrently with
+// Step: snapshots read the tracers' atomics, never their locks.
+func (f *Fleet) TraceStats() []trace.StageStats {
+	var merged trace.Snapshot
+	for _, h := range f.Homes() {
+		if t := h.Router.Tracer; t != nil {
+			merged.Merge(t.Snapshot())
+		}
+	}
+	return merged.Stats()
+}
 
 // Hub exposes the fleet's subscription hub, e.g. to attach additional
 // delta subscribers or read delivery/loss accounting.

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"repro/internal/clock"
-	"repro/internal/hwdb"
 	"repro/internal/netsim"
 )
 
@@ -59,6 +58,21 @@ func TestFleetConcurrency32Homes(t *testing.T) {
 			f.Aggregate()
 		}
 	}()
+	// Read the fleet-merged trace summaries concurrently with the punts
+	// the steps generate: snapshot reads race every home's span stamps.
+	traceDone := make(chan struct{})
+	traceStop := make(chan struct{})
+	go func() {
+		defer close(traceDone)
+		for {
+			select {
+			case <-traceStop:
+				return
+			default:
+				f.TraceStats()
+			}
+		}
+	}()
 	for i := 0; i < 6; i++ {
 		if err := f.Step(0.25); err != nil {
 			t.Fatal(err)
@@ -76,6 +90,22 @@ func TestFleetConcurrency32Homes(t *testing.T) {
 		}
 	}
 	<-aggDone
+	close(traceStop)
+	<-traceDone
+
+	// The traced control plane did real work: punts were spanned end to
+	// end and the merged summaries expose non-zero stage counts.
+	stats := f.TraceStats()
+	if len(stats) == 0 {
+		t.Error("TraceStats returned no stages")
+	}
+	var spanned uint64
+	for _, st := range stats {
+		spanned += st.Count
+	}
+	if spanned == 0 {
+		t.Errorf("no spans recorded across the fleet: %+v", stats)
+	}
 
 	snap := f.Aggregate()
 	if snap.FleetTotals.Homes != homes {
@@ -93,7 +123,7 @@ func TestFleetConcurrency32Homes(t *testing.T) {
 	// explicitly-lost equals total inserts.
 	var inserts uint64
 	for _, h := range tracked {
-		for _, name := range []string{hwdb.TableFlows, hwdb.TableLinks, hwdb.TableLeases} {
+		for _, name := range watchedTables {
 			if tbl, ok := h.Router.DB.Table(name); ok {
 				ins, _ := tbl.Stats()
 				inserts += ins

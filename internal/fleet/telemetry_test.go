@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"testing"
 
-	"repro/internal/hwdb"
 	"repro/internal/netsim"
 )
 
@@ -13,7 +12,7 @@ import (
 func sumInserts(homes []*Home) uint64 {
 	var total uint64
 	for _, h := range homes {
-		for _, name := range []string{hwdb.TableFlows, hwdb.TableLinks, hwdb.TableLeases} {
+		for _, name := range watchedTables {
 			if t, ok := h.Router.DB.Table(name); ok {
 				ins, _ := t.Stats()
 				total += ins
@@ -86,6 +85,19 @@ func TestLiveStatsReflectEveryStep(t *testing.T) {
 		if row[0].Int%2 != 0 {
 			t.Fatalf("idle home %d has view rows", row[0].Int)
 		}
+	}
+
+	// FlowPerf folded through the hub, and at least one rule install's
+	// latency survived to a row. A fresh rule shows zero counters on its
+	// install step's poll (the trigger packet leaves via packet-out), so
+	// this pins the install latency deferring to the flow's first
+	// *active* observation instead of being dropped on the idle one.
+	ft := f1.Telemetry().Totals()
+	if ft.PerfRows == 0 || ft.TxPkts == 0 {
+		t.Fatalf("no FlowPerf rows folded: %+v", ft)
+	}
+	if ft.Installs == 0 {
+		t.Fatalf("no rule-install latency reached FlowPerf: %+v", ft)
 	}
 }
 

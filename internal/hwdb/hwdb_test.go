@@ -102,7 +102,7 @@ func TestOnInsertSubscription(t *testing.T) {
 func TestHomeworkTables(t *testing.T) {
 	db, _ := testDB(t)
 	names := db.TableNames()
-	if len(names) != 3 {
+	if len(names) != 4 {
 		t.Fatalf("tables = %v", names)
 	}
 	mac := packet.MustMAC("02:00:00:00:00:01")

@@ -228,16 +228,21 @@ func (db *DB) Insert(table string, vals ...Value) error {
 
 // Standard Homework table names.
 const (
-	TableFlows  = "Flows"
-	TableLinks  = "Links"
-	TableLeases = "Leases"
+	TableFlows    = "Flows"
+	TableLinks    = "Links"
+	TableLeases   = "Leases"
+	TableFlowPerf = "FlowPerf"
 )
 
-// NewHomework creates a database with the three standard Homework tables.
+// NewHomework creates a database with the four standard Homework tables.
 //
-//	Flows:  periodically observed active five-tuples with byte/packet counts
-//	Links:  link-layer info per station: RSSI, retries, rates
-//	Leases: Ethernet-to-IP mappings with lease state
+//	Flows:    periodically observed active five-tuples with byte/packet counts
+//	Links:    link-layer info per station: RSSI, retries, rates
+//	Leases:   Ethernet-to-IP mappings with lease state
+//	FlowPerf: per-flow interval performance from the controller's vantage —
+//	          tx vs rx packet/byte deltas across the device's ingress hop,
+//	          attributed loss, windowed throughput (bits/s over the actual
+//	          clock-measured poll window) and rule-install latency (µs)
 func NewHomework(clk clock.Clock, ringSize int) *DB {
 	db := New(clk)
 	must := func(_ *Table, err error) {
@@ -267,6 +272,21 @@ func NewHomework(clk clock.Clock, ringSize int) *DB {
 		Column{"ip", TIP},
 		Column{"hostname", TString},
 	), ringSize))
+	must(db.CreateTable(TableFlowPerf, NewSchema(
+		Column{"mac", TMAC},
+		Column{"saddr", TIP},
+		Column{"daddr", TIP},
+		Column{"proto", TInt},
+		Column{"sport", TInt},
+		Column{"dport", TInt},
+		Column{"tx_pkts", TInt},
+		Column{"tx_bytes", TInt},
+		Column{"rx_pkts", TInt},
+		Column{"rx_bytes", TInt},
+		Column{"lost_pkts", TInt},
+		Column{"bps", TReal},
+		Column{"install_us", TInt},
+	), ringSize))
 	return db
 }
 
@@ -282,6 +302,20 @@ func (db *DB) InsertFlow(mac packet.MAC, ft packet.FiveTuple, packets, bytes uin
 // InsertLink records a link-layer observation for a station.
 func (db *DB) InsertLink(mac packet.MAC, rssi, retries int, rate float64) error {
 	return db.Insert(TableLinks, MACVal(mac), Int64(int64(rssi)), Int64(int64(retries)), Float(rate))
+}
+
+// InsertFlowPerf records one interval of a flow's performance seen from
+// the controller: what the device transmitted (tx), what survived the
+// ingress hop (rx), the attributed loss, the interval throughput in
+// bits/s, and — on the row that first observes the flow — the punt-to-
+// flow-mod rule-install latency in microseconds (0 = not measured).
+func (db *DB) InsertFlowPerf(mac packet.MAC, ft packet.FiveTuple, txPkts, txBytes, rxPkts, rxBytes, lostPkts uint64, bps float64, installUS int64) error {
+	return db.Insert(TableFlowPerf,
+		MACVal(mac), IPVal(ft.Src), IPVal(ft.Dst), Int64(int64(ft.Proto)),
+		Int64(int64(ft.SrcPort)), Int64(int64(ft.DstPort)),
+		Int64(int64(txPkts)), Int64(int64(txBytes)),
+		Int64(int64(rxPkts)), Int64(int64(rxBytes)),
+		Int64(int64(lostPkts)), Float(bps), Int64(installUS))
 }
 
 // InsertLease records a DHCP lease event ("add", "del" or "upd").

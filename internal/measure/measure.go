@@ -1,14 +1,20 @@
 // Package measure implements the Homework router's measurement plane: it
-// periodically polls the datapath's flow statistics and the wireless
-// driver's link state, and streams observations into the hwdb Flows and
-// Links tables that the visualization interfaces subscribe to. (Lease
-// events reach the Leases table directly from the DHCP server.)
+// periodically polls the datapath's flow and port statistics and the
+// wireless driver's link state, and streams observations into the hwdb
+// Flows, Links and FlowPerf tables that the visualization interfaces
+// subscribe to. (Lease events reach the Leases table directly from the
+// DHCP server.) FlowPerf is the controller-vantage per-flow performance
+// monitor: each poll round computes every active flow's throughput over
+// the actual clock-measured window, its tx-vs-rx delta across the device
+// ingress hop (port receive-drop deltas attributed per-flow by packet
+// share), and the punt-to-flow-mod rule-install latency the tracer
+// measured for it.
 //
 // Concurrency: drive the plane either with Run's single background
 // goroutine or with explicit PollOnce calls, never both at once.
-// RecordFlowRemoved arrives concurrently from the controller's dispatch
-// goroutine; the flow-state cache is mutex-guarded and the hwdb tables
-// synchronize internally.
+// RecordFlowRemoved and RecordInstall arrive concurrently from the
+// controller's dispatch goroutine; the flow-state cache is mutex-guarded
+// and the hwdb tables synchronize internally.
 package measure
 
 import (
@@ -58,21 +64,36 @@ type Config struct {
 // flowState tracks the last counters seen for a flow so the plane records
 // per-interval deltas ("periodically observed active five-tuples").
 type flowState struct {
-	packets uint64
-	bytes   uint64
-	lastUp  uint64 // poll generation last seen
+	packets   uint64
+	bytes     uint64
+	lastUp    uint64 // poll generation last seen
+	installNS int64  // pending rule-install latency, reported once
+}
+
+// roundFlow is one active flow observed in the current poll round,
+// buffered so port-level drop deltas can be attributed across the round's
+// flows once the per-port totals are known.
+type roundFlow struct {
+	id        flowIdent
+	inPort    uint16
+	dp, db    uint64
+	installUS int64
 }
 
 // Plane is the measurement plane.
 type Plane struct {
 	cfg Config
 
-	mu    sync.Mutex
-	seen  map[flowIdent]*flowState
-	gen   uint64
-	stop  chan struct{}
-	once  sync.Once
-	polls uint64
+	mu          sync.Mutex
+	seen        map[flowIdent]*flowState
+	gen         uint64
+	stop        chan struct{}
+	once        sync.Once
+	polls       uint64
+	lastPoll    time.Time         // previous round's clock timestamp (window measurement)
+	ports       map[uint16]uint64 // last cumulative rx-dropped per port
+	portsSeeded bool              // baseline taken (first round attributes nothing)
+	round       []roundFlow       // reused per-round scratch
 }
 
 type flowIdent struct {
@@ -131,11 +152,28 @@ func (p *Plane) pollFlows(sw *nox.Switch) {
 	if err != nil {
 		return
 	}
+	// The poll window is measured on the configured clock, never assumed
+	// from the nominal interval: under clock.Simulated a time-compressed
+	// soak observes the same consistent windows the ticks advance.
+	now := p.cfg.Clock.Now()
 	p.mu.Lock()
 	p.gen++
 	gen := p.gen
+	last := p.lastPoll
+	p.lastPoll = now
 	p.mu.Unlock()
+	var window time.Duration
+	if !last.IsZero() {
+		window = now.Sub(last)
+	}
 
+	// Per-port receive-drop deltas since the previous round: the loss the
+	// controller can see without any per-host agent (OpenFlow port stats;
+	// each home device sits on its own datapath port).
+	drops := p.portDrops(sw)
+
+	p.round = p.round[:0]
+	portPkts := make(map[uint16]uint64, 4)
 	for _, fs := range stats {
 		ft, mac, ok := p.classify(&fs)
 		if !ok {
@@ -155,11 +193,47 @@ func (p *Plane) pollFlows(sw *nox.Switch) {
 		}
 		st.packets, st.bytes = fs.PacketCount, fs.ByteCount
 		st.lastUp = gen
+		// Install latency rides the flow's first *active* observation: a
+		// just-installed rule shows zero counters this round (its trigger
+		// packet left via packet-out, not the flow table), so consuming
+		// the latency on an idle round would silently drop it. Round up
+		// so a recorded sub-µs install is still visible.
+		var installUS int64
+		if dp != 0 && st.installNS > 0 {
+			installUS = (st.installNS + 999) / 1000
+			st.installNS = 0
+		}
 		p.mu.Unlock()
 		if dp == 0 {
 			continue // not active this interval
 		}
 		_ = p.cfg.DB.InsertFlow(mac, ft, dp, db)
+		p.round = append(p.round, roundFlow{id: id, inPort: fs.Match.InPort, dp: dp, db: db, installUS: installUS})
+		portPkts[fs.Match.InPort] += dp
+	}
+
+	// FlowPerf: the two ends of the device's ingress hop seen from the
+	// controller. rx is what matched the flow table; a port's dropped
+	// frames never matched anything, so they are attributed across the
+	// port's active flows by packet share and added back to reconstruct
+	// what the device transmitted.
+	for i := range p.round {
+		rf := &p.round[i]
+		var lost uint64
+		if d := drops[rf.inPort]; d > 0 {
+			if tot := portPkts[rf.inPort]; tot > 0 {
+				lost = (d*rf.dp + tot/2) / tot // rounded proportional share
+			}
+		}
+		tx, txBytes := rf.dp+lost, rf.db
+		if lost > 0 {
+			txBytes += lost * (rf.db / rf.dp) // lost frames sized at the flow mean
+		}
+		var bps float64
+		if window > 0 {
+			bps = float64(rf.db) * 8 / window.Seconds()
+		}
+		_ = p.cfg.DB.InsertFlowPerf(rf.id.mac, rf.id.ft, tx, txBytes, rf.dp, rf.db, lost, bps, rf.installUS)
 	}
 
 	// Forget flows that vanished from the table.
@@ -169,6 +243,62 @@ func (p *Plane) pollFlows(sw *nox.Switch) {
 			delete(p.seen, id)
 		}
 	}
+	p.mu.Unlock()
+}
+
+// portDrops polls port counters and returns each port's receive-drop
+// delta since the previous round. The first round only seeds the
+// baseline: drops accumulated before measurement began (e.g. frames lost
+// during join handshakes) are not attributed to anyone's flows.
+func (p *Plane) portDrops(sw *nox.Switch) map[uint16]uint64 {
+	ps, err := sw.PortStats(openflow.PortNone)
+	if err != nil || len(ps) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ports == nil {
+		p.ports = make(map[uint16]uint64, len(ps))
+	}
+	seeded := p.portsSeeded
+	p.portsSeeded = true
+	var drops map[uint16]uint64
+	for _, s := range ps {
+		prev := p.ports[s.PortNo]
+		if seeded && s.RxDropped > prev {
+			if drops == nil {
+				drops = make(map[uint16]uint64, 2)
+			}
+			drops[s.PortNo] = s.RxDropped - prev
+		}
+		p.ports[s.PortNo] = s.RxDropped
+	}
+	return drops
+}
+
+// RecordInstall attaches a rule-install latency (nanoseconds) to the flow
+// entry match describes; the flow's next FlowPerf row reports it in
+// microseconds. The router wires this to the forwarder's install hook
+// with the tracer's punt-to-emission latency, so install latency is
+// measured from the controller's vantage with no extra wire traffic.
+// Safe from the controller's dispatch goroutine.
+func (p *Plane) RecordInstall(match *openflow.Match, latencyNS int64) {
+	if latencyNS <= 0 || p.cfg.DB == nil {
+		return
+	}
+	fs := openflow.FlowStats{Match: *match}
+	ft, mac, ok := p.classify(&fs)
+	if !ok {
+		return
+	}
+	id := flowIdent{ft: ft, mac: mac}
+	p.mu.Lock()
+	st := p.seen[id]
+	if st == nil {
+		st = &flowState{lastUp: p.gen}
+		p.seen[id] = st
+	}
+	st.installNS = latencyNS
 	p.mu.Unlock()
 }
 

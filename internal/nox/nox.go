@@ -37,6 +37,7 @@ import (
 	"repro/internal/openflow"
 	"repro/internal/packet"
 	"repro/internal/quiesce"
+	"repro/internal/trace"
 )
 
 // Disposition is a handler's verdict on an event.
@@ -110,6 +111,7 @@ type Controller struct {
 
 	processed atomic.Uint64
 	quiesce   atomic.Pointer[quiesce.Epoch]
+	tracer    atomic.Pointer[trace.Tracer]
 }
 
 // Processed returns how many packet-in events have completed dispatch.
@@ -125,6 +127,13 @@ func (c *Controller) Processed() uint64 { return c.processed.Load() }
 // complete earlier are not credited retroactively.
 func (c *Controller) SetQuiesce(e *quiesce.Epoch) { c.quiesce.Store(e) }
 
+// SetTracer attaches the punt-lifecycle tracer the controller stamps as
+// it dispatches: dispatch/emit per packet-in, credit per drained batch,
+// barrier on every Barrier round trip. Like SetQuiesce it assumes the
+// co-resident single-datapath deployment (spans correlate by FIFO order
+// with the datapath's Punt stamps); attach it before serving a transport.
+func (c *Controller) SetTracer(t *trace.Tracer) { c.tracer.Store(t) }
+
 // noteProcessed credits n completed packet-in dispatches — once per
 // drained batch, so a burst of punts costs one epoch broadcast.
 func (c *Controller) noteProcessed(n int) {
@@ -132,6 +141,10 @@ func (c *Controller) noteProcessed(n int) {
 		return
 	}
 	c.processed.Add(uint64(n))
+	// Credit the tracer before the epoch: a Settle woken by Done may
+	// barrier immediately, and BarrierReply only stamps spans the credit
+	// watermark has already passed.
+	c.tracer.Load().Credit(n)
 	if e := c.quiesce.Load(); e != nil {
 		e.Done(n)
 	}

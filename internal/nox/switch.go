@@ -70,8 +70,10 @@ func (sw *Switch) readLoop() error {
 			return err
 		}
 		// The handler chain is snapshotted at most once per drained
-		// batch, on its first punt.
+		// batch, on its first punt. The tracer pointer is likewise loaded
+		// once per batch; its stamp methods are nil-safe.
 		var handlers []func(*PacketInEvent) Disposition
+		tracer := sw.ctl.tracer.Load()
 		punts := 0
 		for i, msg := range batch {
 			batch[i] = nil
@@ -89,9 +91,11 @@ func (sw *Switch) readLoop() error {
 				if handlers == nil {
 					handlers = sw.ctl.packetInHandlers()
 				}
+				tracer.BeginDispatch()
 				_ = d.Decode(m.Data) // partial decode is fine; handlers check Has*
 				ev = PacketInEvent{Switch: sw, Msg: m, Decoded: &d}
 				dispatchPacketIn(handlers, &ev)
+				tracer.EndDispatch()
 				punts++
 			case *openflow.FlowRemoved:
 				sw.ctl.dispatchFlowRemoved(&FlowRemovedEvent{Switch: sw, Msg: m})
@@ -284,9 +288,14 @@ func (sw *Switch) AggregateStats(match openflow.Match) (openflow.AggregateStats,
 	return sr.Aggregate, nil
 }
 
-// Barrier round-trips a barrier request.
+// Barrier round-trips a barrier request. A successful reply proves every
+// credited dispatch's emissions are live in the datapath, so it also
+// closes those punt-lifecycle spans (their barrier stage is stamped).
 func (sw *Switch) Barrier() error {
 	_, err := sw.request(&openflow.BarrierRequest{}, 5*time.Second)
+	if err == nil {
+		sw.ctl.tracer.Load().BarrierReply()
+	}
 	return err
 }
 

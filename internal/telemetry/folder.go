@@ -39,15 +39,17 @@ type DeviceRate struct {
 
 // HomeTotals is one home's cumulative counters plus its current rate.
 type HomeTotals struct {
-	Home    uint64
-	Hosts   int
-	Flows   uint64
-	Links   uint64
-	Leases  uint64
-	Packets uint64
-	Bytes   uint64
-	Lost    uint64
-	Rate    Rate
+	Home     uint64
+	Hosts    int
+	Flows    uint64
+	Links    uint64
+	Leases   uint64
+	Packets  uint64
+	Bytes    uint64
+	Lost     uint64
+	TxPkts   uint64 // FlowPerf: packets devices transmitted
+	LostPkts uint64 // FlowPerf: packets attributed as lost on the ingress hop
+	Rate     Rate
 }
 
 // Totals is the continuously-maintained fleet-wide state: reading it is a
@@ -63,6 +65,14 @@ type Totals struct {
 	Lost    uint64 // ring-wrapped rows the hub could not read
 	Rows    uint64 // hwdb rows consumed from the hub
 	Commits uint64
+
+	// FlowPerf aggregates: per-flow performance rows from the measurement
+	// planes' controller-vantage monitoring.
+	PerfRows     uint64 // FlowPerf rows folded
+	TxPkts       uint64 // packets devices transmitted (rx + attributed loss)
+	LostPkts     uint64 // packets attributed as lost on the ingress hop
+	Installs     uint64 // flows with a measured rule-install latency
+	InstallUSSum uint64 // sum of those latencies (µs) — mean = sum/installs
 }
 
 // PeriodStats is one home's delta since the previous TakePeriod call —
@@ -105,8 +115,9 @@ type Folder struct {
 	buckets int
 
 	// Standard-schema column indexes, resolved once.
-	fMAC, fPkts, fBytes int
-	lRSSI               int
+	fMAC, fPkts, fBytes    int
+	lRSSI                  int
+	pTx, pLost, pInstallUS int
 
 	mu         sync.Mutex
 	homes      map[uint64]*homeAcc
@@ -124,6 +135,7 @@ type homeAcc struct {
 	// cumulative
 	flows, links, leases uint64
 	packets, bytes, lost uint64
+	txPkts, lostPkts     uint64 // FlowPerf tx/loss
 
 	agg periodAcc // since the last TakePeriod (fleet.Aggregate period)
 	com periodAcc // since the last Commit (view-row period)
@@ -197,6 +209,10 @@ func NewFolder(hub *Hub, cfg FolderConfig) *Folder {
 	f.fBytes, _ = ft.Schema().Index("bytes")
 	lt, _ := proto.Table(hwdb.TableLinks)
 	f.lRSSI, _ = lt.Schema().Index("rssi")
+	pt, _ := proto.Table(hwdb.TableFlowPerf)
+	f.pTx, _ = pt.Schema().Index("tx_pkts")
+	f.pLost, _ = pt.Schema().Index("lost_pkts")
+	f.pInstallUS, _ = pt.Schema().Index("install_us")
 	hub.SubscribeFunc(f.consume)
 	return f
 }
@@ -296,6 +312,21 @@ func (f *Folder) consume(d Delta) {
 	case hwdb.TableLeases:
 		h.leases += uint64(len(d.Rows))
 		f.fleet.Leases += uint64(len(d.Rows))
+	case hwdb.TableFlowPerf:
+		for i := range d.Rows {
+			row := &d.Rows[i]
+			tx := uint64(row.Vals[f.pTx].Int)
+			lost := uint64(row.Vals[f.pLost].Int)
+			h.txPkts += tx
+			h.lostPkts += lost
+			f.fleet.PerfRows++
+			f.fleet.TxPkts += tx
+			f.fleet.LostPkts += lost
+			if us := row.Vals[f.pInstallUS].Int; us > 0 {
+				f.fleet.Installs++
+				f.fleet.InstallUSSum += uint64(us)
+			}
+		}
 	}
 }
 
@@ -401,6 +432,7 @@ func (f *Folder) HomeTotals() []HomeTotals {
 			Home: id, Hosts: h.hostsNow,
 			Flows: h.flows, Links: h.links, Leases: h.leases,
 			Packets: h.packets, Bytes: h.bytes, Lost: h.lost,
+			TxPkts: h.txPkts, LostPkts: h.lostPkts,
 			Rate: h.rate.rate(now),
 		})
 	}

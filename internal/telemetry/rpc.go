@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/hwdb"
+	"repro/internal/trace"
 )
 
 // The streaming fleet endpoint speaks the HWDB/1 wire framing (the same
@@ -18,6 +19,7 @@ import (
 //
 //	EXEC        body = one CQL SELECT against the FleetStats view
 //	STATS       one-row tabular fleet totals + windowed rates
+//	TRACE       per-stage punt-lifecycle latency summary (fleet-merged)
 //	SUBSCRIBE   body = [SUBSCRIBE] FLEET EVERY <n> <unit>; OK arg is the id
 //	UNSUBSCRIBE body = id
 //	PING
@@ -37,6 +39,9 @@ const (
 type Server struct {
 	folder *Folder
 	conn   *net.UDPConn
+	// traceFn supplies fleet-merged punt-lifecycle stage summaries for
+	// the TRACE verb (atomic: SetTraceSource may race in-flight requests).
+	traceFn atomic.Pointer[func() []trace.StageStats]
 
 	mu     sync.Mutex
 	subs   map[uint64]*fleetSub
@@ -57,6 +62,12 @@ type fleetSub struct {
 func NewServer(folder *Folder) *Server {
 	return &Server{folder: folder, subs: make(map[uint64]*fleetSub)}
 }
+
+// SetTraceSource installs the function the TRACE verb calls for fleet-
+// merged punt-lifecycle stage summaries (fleet.TraceStats, typically).
+// Safe to call at any time, including while serving; a server without
+// one answers TRACE with an empty table.
+func (s *Server) SetTraceSource(fn func() []trace.StageStats) { s.traceFn.Store(&fn) }
 
 // Serve binds addr (e.g. "127.0.0.1:0") and serves until Close.
 func (s *Server) Serve(addr string) error {
@@ -139,6 +150,9 @@ func (s *Server) dispatch(addr *net.UDPAddr, seq uint64, verb, body string) {
 		s.reply(addr, seq, fmt.Sprintf("OK %d", len(res.Rows)), res.Text())
 	case "STATS":
 		res := s.statsResult()
+		s.reply(addr, seq, fmt.Sprintf("OK %d", len(res.Rows)), res.Text())
+	case "TRACE":
+		res := s.traceResult()
 		s.reply(addr, seq, fmt.Sprintf("OK %d", len(res.Rows)), res.Text())
 	case "SUBSCRIBE":
 		every, err := parseFleetSubscribe(body)
@@ -330,6 +344,29 @@ func (s *Server) statsResult() *hwdb.Result {
 			hwdb.Float(r.PacketsPerSec),
 		}},
 	}
+}
+
+// traceResult renders the punt-lifecycle stage summaries as a tabular
+// result: one row per contract transition, latencies in microseconds.
+func (s *Server) traceResult() *hwdb.Result {
+	res := &hwdb.Result{
+		Cols: []string{"stage", "count", "p50_us", "p99_us", "max_us", "mean_us"},
+	}
+	fn := s.traceFn.Load()
+	if fn == nil {
+		return res
+	}
+	for _, st := range (*fn)() {
+		res.Rows = append(res.Rows, []hwdb.Value{
+			hwdb.Str(st.Stage),
+			hwdb.Int64(int64(st.Count)),
+			hwdb.Float(st.P50NS / 1e3),
+			hwdb.Float(st.P99NS / 1e3),
+			hwdb.Float(float64(st.MaxNS) / 1e3),
+			hwdb.Float(st.MeanNS / 1e3),
+		})
+	}
+	return res
 }
 
 func (s *Server) reply(addr *net.UDPAddr, seq uint64, status, body string) {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/hwdb"
 	"repro/internal/packet"
+	"repro/internal/trace"
 )
 
 // serverRig is a one-home telemetry stack behind a live UDP endpoint,
@@ -121,6 +122,75 @@ func TestServerStatsVerb(t *testing.T) {
 	if row[idx("homes")].Str != "1" || row[idx("hosts")].Str != "2" ||
 		row[idx("flows")].Str != "2" || row[idx("bytes")].Str != "1000" {
 		t.Fatalf("stats row = %v (cols %v)", row, res.Cols)
+	}
+}
+
+// TestServerTraceVerb: TRACE renders the installed trace source's stage
+// summaries as a tabular result (one row per transition, µs units); a
+// server without a source answers with an empty table, not an error.
+func TestServerTraceVerb(t *testing.T) {
+	r := newServerRig(t)
+	r.srv.SetTraceSource(func() []trace.StageStats {
+		return []trace.StageStats{
+			{Stage: "punt->dispatch", Count: 42, P50NS: 1500, P99NS: 9000, MaxNS: 12000, MeanNS: 2000},
+			{Stage: "punt->barrier", Count: 42, P50NS: 8000, P99NS: 64000, MaxNS: 90000, MeanNS: 11000},
+		}
+	})
+
+	conn, err := net.Dial("udp", r.srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("HWDB/1 1 TRACE\n")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 65536)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(buf[:n])
+	if !strings.HasPrefix(got, "HWDB/1 1 OK 2\n") {
+		t.Fatalf("trace reply = %q", got)
+	}
+	res, err := hwdb.ParseText(got[strings.IndexByte(got, '\n')+1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"stage", "count", "p50_us", "p99_us", "max_us", "mean_us"}
+	if strings.Join(res.Cols, ",") != strings.Join(want, ",") {
+		t.Fatalf("trace cols = %v", res.Cols)
+	}
+	if res.Rows[0][0].Str != "punt->dispatch" || res.Rows[0][1].Str != "42" {
+		t.Fatalf("trace row 0 = %v", res.Rows[0])
+	}
+	if res.Rows[0][2].Str != "1.5" { // 1500ns = 1.5µs
+		t.Fatalf("p50_us = %q", res.Rows[0][2].Str)
+	}
+
+	// No source installed: empty table, OK status.
+	srv2 := NewServer(r.folder)
+	if err := srv2.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv2.Close() })
+	conn2, err := net.Dial("udp", srv2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write([]byte("HWDB/1 9 TRACE\n")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err = conn2.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(buf[:n]); !strings.HasPrefix(got, "HWDB/1 9 OK 0\n") {
+		t.Fatalf("sourceless trace reply = %q", got)
 	}
 }
 

@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// drive runs n spans through the full lifecycle: punt, dispatch, emit,
+// one batch credit, one barrier.
+func drive(t *Tracer, n int) {
+	for i := 0; i < n; i++ {
+		t.Punt()
+		t.BeginDispatch()
+		t.EndDispatch()
+	}
+	t.Credit(n)
+	t.BarrierReply()
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	tr := New(64)
+	drive(tr, 10)
+	punted, dispatched, credited, barriered, overwritten := tr.Counts()
+	if punted != 10 || dispatched != 10 || credited != 10 || barriered != 10 {
+		t.Fatalf("counts = %d/%d/%d/%d, want 10 each", punted, dispatched, credited, barriered)
+	}
+	if overwritten != 0 {
+		t.Fatalf("overwritten = %d, want 0", overwritten)
+	}
+	stats := tr.Stats()
+	if len(stats) != numTransitions {
+		t.Fatalf("stats rows = %d, want %d", len(stats), numTransitions)
+	}
+	for _, st := range stats {
+		if st.Count != 10 {
+			t.Errorf("%s count = %d, want 10", st.Stage, st.Count)
+		}
+		if st.P50NS < 0 || st.P99NS < st.P50NS || float64(st.MaxNS) < st.P99NS {
+			t.Errorf("%s quantiles not ordered: p50=%v p99=%v max=%v", st.Stage, st.P50NS, st.P99NS, st.MaxNS)
+		}
+	}
+}
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	// Every span-record and read entry point must be a no-op on nil.
+	tr.Punt()
+	tr.BeginDispatch()
+	tr.EndDispatch()
+	tr.Credit(3)
+	tr.BarrierReply()
+	if got := tr.DispatchLatencyNS(); got != 0 {
+		t.Fatalf("nil DispatchLatencyNS = %d", got)
+	}
+	if s := tr.Snapshot(); s.Hists[0].Count != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", s)
+	}
+	if stats := tr.Stats(); len(stats) != numTransitions {
+		t.Fatalf("nil Stats rows = %d", len(stats))
+	}
+}
+
+func TestRingOverwriteDropsStaleSpans(t *testing.T) {
+	tr := New(4) // tiny ring: punts lap the consumer
+	for i := 0; i < 32; i++ {
+		tr.Punt()
+	}
+	// The consumer catches up afterwards: all but the last ring-full of
+	// spans were overwritten, and their stamps must be dropped, not
+	// misattributed to the newer spans occupying their slots.
+	for i := 0; i < 32; i++ {
+		tr.BeginDispatch()
+		tr.EndDispatch()
+	}
+	tr.Credit(32)
+	tr.BarrierReply()
+	_, _, _, _, overwritten := tr.Counts()
+	if overwritten == 0 {
+		t.Fatal("expected overwritten spans with a lapped ring")
+	}
+	s := tr.Snapshot()
+	if got := s.Hists[tPuntDispatch].Count; got > 4 {
+		t.Fatalf("punt->dispatch folded %d spans, ring holds only 4", got)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a, b := New(64), New(64)
+	drive(a, 5)
+	drive(b, 7)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if got := sa.Hists[tPuntBarrier].Count; got != 12 {
+		t.Fatalf("merged punt->barrier count = %d, want 12", got)
+	}
+	stats := sa.Stats()
+	if stats[tPuntBarrier].Count != 12 {
+		t.Fatalf("merged stats count = %d, want 12", stats[tPuntBarrier].Count)
+	}
+}
+
+func TestQuantileOrdering(t *testing.T) {
+	var h HistSnapshot
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Count = 100
+	h.SumNS = 100 * 1000
+	h.MaxNS = 4000
+	h.Buckets[10] = 99 // [512, 1024)
+	h.Buckets[12] = 1  // [2048, 4096)
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 < 512 || p50 >= 1024 {
+		t.Fatalf("p50 = %v, want within [512,1024)", p50)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 %v < p50 %v", p99, p50)
+	}
+	if h.Quantile(1.0) < p99 {
+		t.Fatalf("p100 below p99")
+	}
+}
+
+func TestDispatchLatency(t *testing.T) {
+	tr := New(64)
+	tr.Punt()
+	tr.BeginDispatch()
+	if d := tr.DispatchLatencyNS(); d <= 0 {
+		t.Fatalf("mid-dispatch latency = %d, want > 0", d)
+	}
+	tr.EndDispatch()
+	tr.Credit(1)
+}
+
+// TestSpanRecordAllocs pins the span-record hot path at zero allocations:
+// the acceptance criterion for always-on tracing in the datapath punt
+// path and the controller read loop.
+func TestSpanRecordAllocs(t *testing.T) {
+	tr := New(256)
+	if n := testing.AllocsPerRun(1000, tr.Punt); n != 0 {
+		t.Fatalf("Punt allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.Punt()
+		tr.BeginDispatch()
+		tr.EndDispatch()
+		tr.Credit(1)
+	}); n != 0 {
+		t.Fatalf("full span record allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, tr.BarrierReply); n != 0 {
+		t.Fatalf("BarrierReply allocates %v/op, want 0", n)
+	}
+}
+
+// TestConcurrentRecordAndRead hammers one tracer from concurrent
+// producers, a consumer, a barrier caller and snapshot readers — the
+// package-level half of the fleet's 32-home race gate.
+func TestConcurrentRecordAndRead(t *testing.T) {
+	tr := New(128)
+	const iters = 2000
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { // producer 1: the simulator goroutine
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			tr.Punt()
+		}
+	}()
+	go func() { // producer 2: a punt from the dispatch goroutine's output
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			tr.Punt()
+		}
+	}()
+	go func() { // consumer: dispatch + batch credit
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			tr.BeginDispatch()
+			_ = tr.DispatchLatencyNS()
+			tr.EndDispatch()
+			if i%8 == 7 {
+				tr.Credit(8)
+			}
+		}
+	}()
+	go func() { // settle path: barriers and reads race the recorders
+		defer wg.Done()
+		for i := 0; i < iters/10; i++ {
+			tr.BarrierReply()
+			_ = tr.Snapshot()
+			_ = tr.Stats()
+		}
+	}()
+	wg.Wait()
+	punted, dispatched, _, _, _ := tr.Counts()
+	if punted != 2*iters || dispatched != iters {
+		t.Fatalf("counts after hammer: punted=%d dispatched=%d", punted, dispatched)
+	}
+}
+
+func BenchmarkSpanRecord(b *testing.B) {
+	tr := New(DefaultRingSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Punt()
+		tr.BeginDispatch()
+		tr.EndDispatch()
+		tr.Credit(1)
+	}
+}
+
+func BenchmarkPuntStamp(b *testing.B) {
+	tr := New(DefaultRingSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Punt()
+	}
+}
