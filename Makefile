@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench
+.PHONY: all build test race bench soak
 
 all: build test
 
@@ -12,6 +12,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# soak runs the time-compressed chaos soak gate under the race detector:
+# two simulated days of scheduled faults over a 16-home fleet with the
+# health/remediation loop live, bounded wall clock. The failing seed is
+# printed by the test; reproduce with
+#   go test -race -run TestChaosSoak ./internal/chaos
+soak:
+	$(GO) test -race -run TestChaosSoak -v -timeout 5m ./internal/chaos
 
 # bench runs the scenario-matrix perf trajectory — fleet step scaling,
 # settle latency, live telemetry, and the traced-vs-untraced overhead

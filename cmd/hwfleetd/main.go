@@ -23,6 +23,12 @@
 // net/http/pprof profiles under /debug/pprof/ and expvar counters under
 // /debug/vars, with the live fleet trace summary published as the
 // "trace" expvar.
+//
+// With -chaos, the process instead runs the time-compressed chaos soak
+// (internal/chaos): scheduled fault episodes over a simulated-clock
+// fleet with the health/remediation loop live, exiting non-zero if any
+// soak invariant is violated. -homes, -hosts, -shards and -seed carry
+// over; -chaos-days sets the simulated fault window.
 package main
 
 import (
@@ -35,9 +41,35 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/fleet"
 	"repro/internal/telemetry"
 )
+
+// runChaosSoak drives the chaos soak gate and prints its report; any
+// violated invariant exits non-zero with the reproducing seed.
+func runChaosSoak(cfg chaos.SoakConfig, quiet bool) {
+	if !quiet {
+		cfg.Logf = log.Printf
+	}
+	res, err := chaos.Soak(cfg)
+	if res != nil {
+		fmt.Printf("chaos soak  seed %d\n", res.Seed)
+		fmt.Printf("homes       %d\n", res.Homes)
+		fmt.Printf("steps       %d scheduled + %d recovery (%s simulated in %v wall)\n",
+			res.Steps, res.Extra, res.SimSpan, res.Wall.Round(time.Millisecond))
+		fmt.Printf("episodes    %d scheduled: %d injected, %d skipped, %d unrecovered\n",
+			res.Episodes, res.Injected, res.Skipped, res.Unrecovered)
+		fmt.Printf("remediation %d verdicts: %d cordons, %d uncordons, %d restarts, %d replaces, %d failures\n",
+			res.Counts.Verdicts, res.Counts.Cordons, res.Counts.Uncordons,
+			res.Counts.Restarts, res.Counts.Replaces, res.Counts.Failures)
+		fmt.Printf("telemetry   %d delivered + %d lost = %d inserts\n",
+			res.HubDelivered, res.HubLost, res.Inserts)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
 
 func main() {
 	scenarioPath := flag.String("scenario", "", "scenario JSON file (defaults applied to absent fields)")
@@ -52,7 +84,20 @@ func main() {
 	linger := flag.Duration("linger", 0, "keep serving telemetry this long after the run")
 	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar debug HTTP on this address (off when empty)")
 	quiet := flag.Bool("q", false, "suppress progress lines")
+	chaosRun := flag.Bool("chaos", false, "run the time-compressed chaos soak instead of the scenario")
+	chaosDays := flag.Float64("chaos-days", 0, "chaos: simulated days of scheduled faults (default 2)")
 	flag.Parse()
+
+	if *chaosRun {
+		runChaosSoak(chaos.SoakConfig{
+			Homes:        *homes,
+			HostsPerHome: *hosts,
+			Shards:       *shards,
+			Seed:         *seed,
+			SimDays:      *chaosDays,
+		}, *quiet)
+		return
+	}
 
 	s := fleet.DefaultScenario()
 	if *scenarioPath != "" {

@@ -1,0 +1,35 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosSoak is the CI soak gate: two simulated days of scheduled
+// faults over a 16-home fleet, compressed into seconds of wall clock,
+// with the health/remediation loop live. Soak itself asserts the hard
+// invariants (every episode's home re-converges to Healthy, remediation
+// fully accounted in hwdb, no home stuck cordoned, no lost telemetry
+// rows); the test adds the wall-clock budget. Failures print the seed —
+// the whole trajectory reproduces from it.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("time-compressed soak in -short mode")
+	}
+	cfg := SoakConfig{Seed: 1, Logf: t.Logf}
+	res, err := Soak(cfg)
+	if res != nil {
+		t.Logf("soak seed %d: %d homes, %d+%d steps (%s simulated), wall %v",
+			res.Seed, res.Homes, res.Steps, res.Extra, res.SimSpan, res.Wall)
+		t.Logf("episodes: %d scheduled, %d injected, %d skipped; remediation %+v",
+			res.Episodes, res.Injected, res.Skipped, res.Counts)
+		t.Logf("telemetry: %d delivered + %d lost = %d inserts",
+			res.HubDelivered, res.HubLost, res.Inserts)
+	}
+	if err != nil {
+		t.Fatalf("chaos soak failed (reproduce with seed %d): %v", cfg.Seed, err)
+	}
+	if res.Wall > 60*time.Second {
+		t.Fatalf("soak blew the wall budget: %v > 60s (seed %d)", res.Wall, res.Seed)
+	}
+}

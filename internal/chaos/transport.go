@@ -1,0 +1,211 @@
+package chaos
+
+import (
+	"sync"
+
+	"repro/internal/oftransport"
+	"repro/internal/openflow"
+)
+
+// Faults is one home's control-channel fault switchboard. Installed via
+// core.Config.WrapTransport, it interposes on the Send side of both
+// in-process transport ends:
+//
+//   - WedgeController holds every packet-in the datapath punts (the
+//     controller simply stops hearing about new flows, exactly as a
+//     wedged or GC-stalled controller would look). Punt/credit
+//     accounting makes the wedge visible: the datapath counts the punt
+//     before Send, the controller can only credit what arrives, so the
+//     quiescence epoch lags and Settle returns quiesce.ErrDeadline
+//     instead of hanging — barriers and every other message still pass.
+//   - DropFlowMods / DelayFlowMods discard or hold the controller's
+//     flow-mods (a lossy or congested southbound channel): punted
+//     packets keep being dispatched and credited, but the rules they
+//     produced never (or only later) reach the flow table.
+//
+// Lifting a wedge or delay releases the held messages, in order, into
+// the real transport — which wakes the receiver's read loop naturally.
+// Re-wrapping (the remediation loop restarting the home's router)
+// rebinds the switchboard to the new channel ends and discards messages
+// held for the dead incarnation, while active fault flags persist, so an
+// episode outlives the restart it provoked.
+//
+// All methods are safe for concurrent use; the pass-through preserves
+// the full oftransport.Transport contract, including batched receive.
+type Faults struct {
+	mu        sync.Mutex
+	wedged    bool
+	dropMods  bool
+	delayMods bool
+	heldPunts []openflow.Message
+	heldMods  []openflow.Message
+	ctlInner  oftransport.Transport // controller end: Send carries flow-mods
+	dpInner   oftransport.Transport // datapath end: Send carries punts
+	stats     FaultStats
+}
+
+// FaultStats counts what the switchboard has done to the channel.
+type FaultStats struct {
+	HeldPunts     uint64 // punts currently held by an active wedge
+	ReleasedPunts uint64 // punts released by lifted wedges
+	LostPunts     uint64 // punts discarded by a restart while held
+	DroppedMods   uint64 // flow-mods discarded by DropFlowMods
+	HeldMods      uint64 // flow-mods currently held by DelayFlowMods
+	ReleasedMods  uint64 // flow-mods released by lifted delays
+	LostMods      uint64 // flow-mods discarded by a restart while held
+}
+
+// Wrap interposes the switchboard on a router's in-process control
+// channel; install it as core.Config.WrapTransport (method value:
+// cfg.WrapTransport = f.Wrap). Safe to call again for a restarted
+// router: held messages for the old incarnation are discarded (and
+// accounted), fault flags carry over.
+func (f *Faults) Wrap(ctl, dp oftransport.Transport) (oftransport.Transport, oftransport.Transport) {
+	f.mu.Lock()
+	f.ctlInner, f.dpInner = ctl, dp
+	f.stats.LostPunts += uint64(len(f.heldPunts))
+	f.stats.LostMods += uint64(len(f.heldMods))
+	f.stats.HeldPunts, f.stats.HeldMods = 0, 0
+	f.heldPunts, f.heldMods = nil, nil
+	f.mu.Unlock()
+	return &faultEnd{f: f, inner: ctl, ctl: true}, &faultEnd{f: f, inner: dp}
+}
+
+// WedgeController starts (on=true) or lifts (on=false) a controller
+// wedge. Lifting releases the held punts, oldest first.
+func (f *Faults) WedgeController(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.wedged = on
+	if !on {
+		// The in-process Send never blocks (unbounded queue), so holding
+		// the mutex preserves order against concurrent new punts.
+		for _, msg := range f.heldPunts {
+			if f.dpInner != nil {
+				_ = f.dpInner.Send(msg)
+			}
+			f.stats.ReleasedPunts++
+		}
+		f.stats.HeldPunts = 0
+		f.heldPunts = nil
+	}
+}
+
+// DropFlowMods makes the controller's flow-mods vanish on the wire while
+// on; everything else (packet-outs, barriers, stats) still flows.
+func (f *Faults) DropFlowMods(on bool) {
+	f.mu.Lock()
+	f.dropMods = on
+	f.mu.Unlock()
+}
+
+// DelayFlowMods holds the controller's flow-mods while on; turning it
+// off releases them, oldest first — rules arrive late, not never.
+func (f *Faults) DelayFlowMods(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delayMods = on
+	if !on {
+		for _, msg := range f.heldMods {
+			if f.ctlInner != nil {
+				_ = f.ctlInner.Send(msg)
+			}
+			f.stats.ReleasedMods++
+		}
+		f.stats.HeldMods = 0
+		f.heldMods = nil
+	}
+}
+
+// Clear lifts every fault at once (releasing held messages).
+func (f *Faults) Clear() {
+	f.WedgeController(false)
+	f.DropFlowMods(false)
+	f.DelayFlowMods(false)
+}
+
+// Stats snapshots the switchboard counters.
+func (f *Faults) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// interceptPunt holds a datapath→controller punt while a wedge is active
+// on the current channel incarnation. Reports true when held.
+func (f *Faults) interceptPunt(msg openflow.Message, inner oftransport.Transport) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.wedged || inner != f.dpInner {
+		return false
+	}
+	f.heldPunts = append(f.heldPunts, msg)
+	f.stats.HeldPunts++
+	return true
+}
+
+// interceptMod drops or holds a controller→datapath flow-mod per the
+// active faults. Reports true when the message must not be forwarded.
+func (f *Faults) interceptMod(msg openflow.Message, inner oftransport.Transport) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if inner != f.ctlInner {
+		return false
+	}
+	if f.dropMods {
+		f.stats.DroppedMods++
+		return true
+	}
+	if f.delayMods {
+		f.heldMods = append(f.heldMods, msg)
+		f.stats.HeldMods++
+		return true
+	}
+	return false
+}
+
+// faultEnd wraps one transport end, filtering its Send direction through
+// the switchboard and passing everything else (including the batched
+// receive path) straight through.
+type faultEnd struct {
+	f     *Faults
+	inner oftransport.Transport
+	ctl   bool // controller end: Sends carry flow-mods toward the datapath
+}
+
+var (
+	_ oftransport.Transport   = (*faultEnd)(nil)
+	_ oftransport.BatchRecver = (*faultEnd)(nil)
+)
+
+func (e *faultEnd) Send(msg openflow.Message) error {
+	if e.ctl {
+		if _, isMod := msg.(*openflow.FlowMod); isMod && e.f.interceptMod(msg, e.inner) {
+			return nil
+		}
+	} else {
+		if _, isPunt := msg.(*openflow.PacketIn); isPunt && e.f.interceptPunt(msg, e.inner) {
+			return nil
+		}
+	}
+	return e.inner.Send(msg)
+}
+
+func (e *faultEnd) Recv() (openflow.Message, error) { return e.inner.Recv() }
+
+func (e *faultEnd) Close() error { return e.inner.Close() }
+
+// RecvBatch preserves the in-process transport's batched read path: the
+// read loops type-assert for oftransport.BatchRecver, and a fault layer
+// that hid it would change scheduling behaviour even with no fault
+// active.
+func (e *faultEnd) RecvBatch(buf []openflow.Message) ([]openflow.Message, error) {
+	if br, ok := e.inner.(oftransport.BatchRecver); ok {
+		return br.RecvBatch(buf)
+	}
+	msg, err := e.inner.Recv()
+	if err != nil {
+		return buf, err
+	}
+	return append(buf, msg), nil
+}

@@ -1,0 +1,209 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/netsim"
+	"repro/internal/quiesce"
+)
+
+// newChaosFleet builds a fleet whose every home routes its in-process
+// control channel through the engine's fault switchboard, with a small
+// settle backstop so wedge tests stay fast.
+func newChaosFleet(t *testing.T, homes int, seed int64, settle time.Duration) (*fleet.Fleet, *Engine) {
+	t.Helper()
+	eng := NewEngine()
+	fl := fleet.New(fleet.Config{
+		Clock: clock.NewSimulated(),
+		Seed:  seed,
+		HomeConfig: func(id uint64, c *core.Config) {
+			c.SettleTimeout = settle
+			c.WrapTransport = eng.FaultsFor(id).Wrap
+		},
+	})
+	t.Cleanup(fl.Stop)
+	eng.Bind(fl)
+	if _, err := fl.AddHomes(homes); err != nil {
+		t.Fatal(err)
+	}
+	return fl, eng
+}
+
+// TestWedgeSettleDeadlineAndRecovery injects a controller wedge and
+// checks the quiescence contract under it: the held punts starve the
+// epoch's credits, so Settle (and the fleet step driving it) returns
+// quiesce.ErrDeadline within the configured backstop instead of hanging;
+// lifting the wedge replays the punts and the control path settles and
+// binds the device that was stuck joining.
+func TestWedgeSettleDeadlineAndRecovery(t *testing.T) {
+	const settle = 50 * time.Millisecond
+	fl, eng := newChaosFleet(t, 1, 42, settle)
+	h := fl.Homes()[0]
+
+	// Clean baseline: a device joins and binds with no fault active.
+	host1, err := h.Join("", false, netsim.Pos{X: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !host1.Bound() {
+		t.Fatal("baseline device did not bind")
+	}
+	if err := fl.Step(1); err != nil {
+		t.Fatal(err)
+	}
+
+	f := eng.FaultsFor(h.ID)
+	f.WedgeController(true)
+	host2, err := h.Router.Net.AddHost("dev-wedged", h.NextMAC(), false, netsim.Pos{X: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = h.Router.JoinHost(host2)
+	if !errors.Is(err, quiesce.ErrDeadline) {
+		t.Fatalf("JoinHost under wedge: err = %v, want quiesce.ErrDeadline", err)
+	}
+	if wall := time.Since(start); wall > 40*settle {
+		t.Fatalf("settle under wedge took %v; the deadline did not bound it", wall)
+	}
+	if host2.Bound() {
+		t.Fatal("device bound through a wedged controller")
+	}
+	if st := f.Stats(); st.HeldPunts == 0 {
+		t.Fatalf("wedge held no punts: %+v", st)
+	}
+
+	// A fleet step over the wedged home surfaces the same deadline and
+	// counts a settle failure on the home (the health evaluator's vital).
+	if err := fl.Step(1); !errors.Is(err, quiesce.ErrDeadline) {
+		t.Fatalf("fleet.Step over wedged home: err = %v, want quiesce.ErrDeadline", err)
+	}
+	if h.SettleErrs() == 0 {
+		t.Error("settle failure not counted on the home")
+	}
+
+	// Lift the wedge: the held punts replay in order, the epoch's credits
+	// catch up, and the join completes.
+	f.WedgeController(false)
+	if err := h.Router.Settle(); err != nil {
+		t.Fatalf("settle after lift: %v", err)
+	}
+	if !host2.Bound() {
+		if err := h.Router.JoinHost(host2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !host2.Bound() {
+		t.Fatal("device did not bind after the wedge lifted")
+	}
+	st := f.Stats()
+	if st.HeldPunts != 0 || st.ReleasedPunts == 0 {
+		t.Fatalf("release accounting after lift: %+v", st)
+	}
+	if err := fl.Step(1); err != nil {
+		t.Fatalf("step after recovery: %v", err)
+	}
+}
+
+// TestDropAndDelayFlowMods checks the southbound fault pair: DropFlowMods
+// makes rules vanish (punts keep flowing and settling, so the control
+// path stays live), DelayFlowMods holds rules and replays them on lift.
+func TestDropAndDelayFlowMods(t *testing.T) {
+	fl, eng := newChaosFleet(t, 1, 43, time.Second)
+	h := fl.Homes()[0]
+	host, err := h.Join("", false, netsim.Pos{X: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host.AddApp(netsim.NewApp(netsim.AppWeb, "203.0.113.10", 60_000))
+	f := eng.FaultsFor(h.ID)
+
+	f.DropFlowMods(true)
+	// Traffic punts, the punts dispatch and credit (Settle succeeds), but
+	// every resulting flow-mod is eaten.
+	for i := 0; i < 3; i++ {
+		if err := fl.Step(0.5); err != nil {
+			t.Fatalf("step under drop-mods: %v", err)
+		}
+	}
+	if st := f.Stats(); st.DroppedMods == 0 {
+		t.Fatalf("no flow-mods dropped: %+v", st)
+	}
+	f.DropFlowMods(false)
+
+	f.DelayFlowMods(true)
+	if err := fl.Step(0.5); err != nil {
+		t.Fatalf("step under delay-mods: %v", err)
+	}
+	held := f.Stats().HeldMods
+	if held == 0 {
+		t.Fatalf("no flow-mods held: %+v", f.Stats())
+	}
+	f.DelayFlowMods(false)
+	st := f.Stats()
+	if st.HeldMods != 0 || st.ReleasedMods != held {
+		t.Fatalf("delay release accounting: held %d, stats %+v", held, st)
+	}
+	if err := fl.Step(0.5); err != nil {
+		t.Fatalf("step after faults lifted: %v", err)
+	}
+}
+
+// TestWrapAcrossRestartKeepsFaults restarts a home while its controller
+// is wedged: the fresh incarnation's channel rebinds through the same
+// switchboard, messages held for the dead incarnation are discarded and
+// accounted, and the wedge itself persists until lifted.
+func TestWrapAcrossRestartKeepsFaults(t *testing.T) {
+	const settle = 50 * time.Millisecond
+	fl, eng := newChaosFleet(t, 1, 44, settle)
+	h := fl.Homes()[0]
+	id := h.ID
+	f := eng.FaultsFor(id)
+
+	f.WedgeController(true)
+	// Provoke held punts: a join's DISCOVER goes into the wedge.
+	host, err := h.Router.Net.AddHost("dev", h.NextMAC(), false, netsim.Pos{X: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Router.JoinHost(host); !errors.Is(err, quiesce.ErrDeadline) {
+		t.Fatalf("join under wedge: %v", err)
+	}
+	heldBefore := f.Stats().HeldPunts
+	if heldBefore == 0 {
+		t.Fatal("no punts held before restart")
+	}
+
+	h2, err := fl.RestartHome(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.HeldPunts != 0 || st.LostPunts != heldBefore {
+		t.Fatalf("restart did not retire held punts: %+v", st)
+	}
+
+	// The wedge survives the restart: the new incarnation's joins are
+	// still starved until the fault lifts.
+	host2, err := h2.Router.Net.AddHost("dev2", h2.NextMAC(), false, netsim.Pos{X: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.Router.JoinHost(host2); !errors.Is(err, quiesce.ErrDeadline) {
+		t.Fatalf("join after restart under persisting wedge: %v", err)
+	}
+	f.WedgeController(false)
+	if err := h2.Router.Settle(); err != nil {
+		t.Fatalf("settle after lift: %v", err)
+	}
+	if !host2.Bound() {
+		if err := h2.Router.JoinHost(host2); err != nil || !host2.Bound() {
+			t.Fatalf("device did not bind after lift (err %v, bound %v)", err, host2.Bound())
+		}
+	}
+}

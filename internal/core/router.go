@@ -68,6 +68,16 @@ type Config struct {
 	// Transport selects the controller↔datapath channel
 	// (TransportInProcess when empty).
 	Transport TransportKind
+	// WrapTransport, when set, interposes on the in-process control
+	// channel before the read loops attach: it receives the controller
+	// and datapath ends of the pair and returns the (possibly wrapped)
+	// ends to use. This is the chaos layer's fault-injection seam —
+	// wedged controllers, dropped or delayed flow-mods — so wrappers
+	// must preserve the full Transport contract (ordering, ownership,
+	// Close semantics) for messages they pass through. Only the
+	// in-process transport is wrapped; TCP deployments are outside the
+	// fault model.
+	WrapTransport func(ctl, dp oftransport.Transport) (oftransport.Transport, oftransport.Transport)
 	// DisableTrace turns the always-on punt-lifecycle tracer off. Only
 	// the trace-overhead benchmark should need it: tracing's span-record
 	// path is allocation-free and budgeted at <=5% of fleet step
@@ -278,8 +288,12 @@ func (r *Router) Start() error {
 		go func() { _ = r.Datapath.ConnectTCP(r.Controller.Addr()) }()
 	default: // TransportInProcess — validated in New.
 		ctlEnd, dpEnd := oftransport.Pair(0)
-		go func() { _ = r.Controller.ServeTransport(ctlEnd) }()
-		go func() { _ = r.Datapath.ConnectTransport(dpEnd) }()
+		var ctl, dp oftransport.Transport = ctlEnd, dpEnd
+		if r.Config.WrapTransport != nil {
+			ctl, dp = r.Config.WrapTransport(ctl, dp)
+		}
+		go func() { _ = r.Controller.ServeTransport(ctl) }()
+		go func() { _ = r.Datapath.ConnectTransport(dp) }()
 	}
 	select {
 	case sw := <-joined:

@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/netsim"
+)
+
+// TestRemoveReAddSameIDNoWatchLeak churns one home ID through repeated
+// RemoveHome + immediate AddHomeID cycles (the remediation loop's restart
+// path) and checks the telemetry watch state stays exact: the hub's
+// source count returns to baseline every cycle, every retired
+// incarnation's rows stay accounted, and the re-added home's tables
+// stream rows again.
+func TestRemoveReAddSameIDNoWatchLeak(t *testing.T) {
+	f := New(Config{Clock: clock.NewSimulated(), Seed: 5})
+	t.Cleanup(f.Stop)
+	homes, err := f.AddHomes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := homes[0].ID
+	baseline := f.Hub().Stats().Sources
+	if want := 2 * len(watchedTables); baseline != want {
+		t.Fatalf("baseline sources = %d, want %d", baseline, want)
+	}
+
+	join := func(h *Home) {
+		t.Helper()
+		host, err := h.Join("", false, netsim.Pos{X: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		host.AddApp(netsim.NewApp(netsim.AppWeb, "203.0.113.10", 60_000))
+	}
+	join(homes[0])
+
+	// Rows from every incarnation ever retired, captured after its stop
+	// (counters final, final drain already delivered to the hub).
+	var retired uint64
+	insertsOf := func(h *Home) uint64 {
+		var n uint64
+		for _, name := range watchedTables {
+			if tbl, ok := h.Router.DB.Table(name); ok {
+				ins, _ := tbl.Stats()
+				n += ins
+			}
+		}
+		return n
+	}
+
+	h := homes[0]
+	for cycle := 0; cycle < 3; cycle++ {
+		if err := f.Step(0.25); err != nil {
+			t.Fatalf("cycle %d step: %v", cycle, err)
+		}
+		if !f.RemoveHome(id) {
+			t.Fatalf("cycle %d: remove failed", cycle)
+		}
+		retired += insertsOf(h)
+		if got := f.Hub().Stats().Sources; got != baseline-len(watchedTables) {
+			t.Fatalf("cycle %d: %d sources after remove, want %d (watch state leaked)",
+				cycle, got, baseline-len(watchedTables))
+		}
+		h, err = f.AddHomeID(id)
+		if err != nil {
+			t.Fatalf("cycle %d re-add: %v", cycle, err)
+		}
+		if h.ID != id {
+			t.Fatalf("cycle %d: re-added as %d, want %d", cycle, h.ID, id)
+		}
+		if got := f.Hub().Stats().Sources; got != baseline {
+			t.Fatalf("cycle %d: %d sources after re-add, want %d", cycle, got, baseline)
+		}
+		join(h)
+	}
+
+	// A live ID must not be claimable again.
+	if _, err := f.AddHomeID(id); err == nil {
+		t.Fatal("AddHomeID on a live ID succeeded")
+	}
+
+	// The final incarnation still streams: step, then check the books
+	// across every incarnation that ever lived.
+	if err := f.Step(0.25); err != nil {
+		t.Fatal(err)
+	}
+	f.Sync()
+	if got := insertsOf(h); got == 0 {
+		t.Error("re-added home inserted no rows")
+	}
+	inserts := retired + insertsOf(h) + insertsOf(homes[1])
+	hub := f.Hub().Stats()
+	if hub.Delivered+hub.Lost != inserts {
+		t.Errorf("unaccounted rows across re-add churn: delivered %d + lost %d != %d inserts",
+			hub.Delivered, hub.Lost, inserts)
+	}
+}

@@ -73,6 +73,12 @@ var watchedTables = []string{
 	hwdb.TableFlows, hwdb.TableLinks, hwdb.TableLeases, hwdb.TableFlowPerf,
 }
 
+// WatchedTables returns (a copy of) the per-home table names the fleet
+// streams into its telemetry hub. External accounting — the chaos soak
+// balances delivered+lost against total inserts across every router
+// incarnation — iterates exactly this set.
+func WatchedTables() []string { return append([]string(nil), watchedTables...) }
+
 // Home is one managed Homework deployment within a fleet.
 type Home struct {
 	ID     uint64
@@ -83,6 +89,15 @@ type Home struct {
 	rng     *rand.Rand
 	steps   uint64
 	hostSeq uint32
+
+	// cordoned takes the home out of rotation: Step skips it entirely (no
+	// traffic, no settle, no measurement poll) while its router and
+	// telemetry sources stay live and inspectable. Set by the health
+	// remediation loop via Fleet.Cordon.
+	cordoned atomic.Bool
+	// settleErrs counts Settle failures (quiesce deadline or barrier
+	// error) across the home's steps — a health-evaluator vital.
+	settleErrs atomic.Uint64
 }
 
 // Fleet instantiates and drives N independent Homework homes.
@@ -169,7 +184,35 @@ func (f *Fleet) AddHome() (*Home, error) {
 	id := f.nextID
 	f.nextID++
 	f.mu.Unlock()
+	return f.addHome(id)
+}
 
+// AddHomeID brings up a home under a caller-chosen ID — the remediation
+// loop's restart path re-creates a home in place after RemoveHome. The ID
+// must not be live; the auto-allocation sequence skips past it so later
+// AddHome calls cannot collide.
+func (f *Fleet) AddHomeID(id uint64) (*Home, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, errors.New("fleet: closed")
+	}
+	if _, live := f.homes[id]; live {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("fleet: home %d already live", id)
+	}
+	if id >= f.nextID {
+		f.nextID = id + 1
+	}
+	f.mu.Unlock()
+	return f.addHome(id)
+}
+
+// addHome builds, starts and registers the home for an already-reserved
+// ID; the telemetry hub re-watching a previously-used SourceID retires
+// the old source (with a final drain) before the new one attaches, so
+// churn and in-place restarts never leak or double-count watch state.
+func (f *Fleet) addHome(id uint64) (*Home, error) {
 	cfg := core.DefaultConfig()
 	cfg.AutoPermit = true
 	cfg.DisableRPC = true
@@ -200,6 +243,11 @@ func (f *Fleet) AddHome() (*Home, error) {
 		f.mu.Unlock()
 		rt.Stop()
 		return nil, errors.New("fleet: closed")
+	}
+	if _, dup := f.homes[id]; dup {
+		f.mu.Unlock()
+		rt.Stop()
+		return nil, fmt.Errorf("fleet: home %d already live", id)
 	}
 	f.homes[id] = h
 	f.planDirty = true
@@ -295,6 +343,53 @@ func (f *Fleet) RemoveHome(id uint64) bool {
 	return true
 }
 
+// Cordon takes a home out of rotation: subsequent Steps skip it (no
+// traffic, no settle, no measurement poll) while its router and telemetry
+// sources stay live, so a sick home stops consuming its shard's step
+// budget but remains inspectable. Returns false if the home is not live.
+func (f *Fleet) Cordon(id uint64) bool {
+	h, ok := f.Home(id)
+	if !ok {
+		return false
+	}
+	h.cordoned.Store(true)
+	return true
+}
+
+// Uncordon returns a cordoned home to rotation. Returns false if the home
+// is not live.
+func (f *Fleet) Uncordon(id uint64) bool {
+	h, ok := f.Home(id)
+	if !ok {
+		return false
+	}
+	h.cordoned.Store(false)
+	return true
+}
+
+// RestartHome tears the home's router down and brings a fresh one up
+// under the same ID — the remediation loop's "turn it off and on again".
+// The old incarnation's telemetry sources are retired with a final drain
+// (their rows stay accounted) and the new incarnation re-watches the same
+// SourceIDs; the new home comes back uncordoned with zeroed vitals.
+func (f *Fleet) RestartHome(id uint64) (*Home, error) {
+	if !f.RemoveHome(id) {
+		return nil, fmt.Errorf("fleet: no home %d", id)
+	}
+	return f.AddHomeID(id)
+}
+
+// ReplaceHome retires the home entirely and brings up a brand-new one
+// under a fresh ID — the remediation loop's escalation when restarting in
+// place did not cure the home. The caller learns the successor from the
+// returned Home.
+func (f *Fleet) ReplaceHome(id uint64) (*Home, error) {
+	if !f.RemoveHome(id) {
+		return nil, fmt.Errorf("fleet: no home %d", id)
+	}
+	return f.AddHome()
+}
+
 // Step advances the whole fleet by dt simulated seconds: every home's
 // traffic applications emit, its control path drains (Router.Settle —
 // an event-driven wait on the punt/processed epoch, not a poll; see
@@ -334,6 +429,9 @@ func (f *Fleet) Step(dt float64) error {
 		f.pool.submit(si, func() {
 			defer wg.Done()
 			for _, h := range hs {
+				if h.cordoned.Load() {
+					continue
+				}
 				if f.cfg.onStep != nil {
 					f.cfg.onStep(si, h.ID, step)
 				}
@@ -476,12 +574,32 @@ func (h *Home) step(dt float64, measureEvery int) error {
 
 	h.Router.Net.Step(dt)
 	if err := h.Router.Settle(); err != nil {
+		h.settleErrs.Add(1)
 		return err
 	}
 	if poll {
 		h.Router.PollMeasure()
 	}
 	return nil
+}
+
+// Cordoned reports whether the home is currently out of rotation.
+func (h *Home) Cordoned() bool { return h.cordoned.Load() }
+
+// SettleErrs returns how many of the home's steps failed to settle (the
+// control path missed its quiescence deadline or a barrier failed) over
+// this router incarnation — a health-evaluator vital.
+func (h *Home) SettleErrs() uint64 { return h.settleErrs.Load() }
+
+// PuntLag returns the home's current punt-credit backlog: packet-ins the
+// datapath has punted that the controller has not yet dispatched. A
+// healthy idle home reads 0; a wedged controller grows it without bound.
+func (h *Home) PuntLag() uint64 {
+	punted, processed := h.Router.Datapath.Quiesce().Counts()
+	if processed > punted {
+		return 0
+	}
+	return punted - processed
 }
 
 // Steps returns how many fleet ticks have stepped this home.

@@ -36,6 +36,17 @@ type Network struct {
 	directL2 bool
 	bypass   uint64  // frames delivered host-to-host without the router
 	ordered  []*Host // port-ordered host cache; nil when membership changed
+
+	// Link-fault injection (chaos): while faultDen > 0, faultNum out of
+	// every faultDen host frames are dropped on their way into the
+	// datapath, counted on the transmitting port's rx-drop counter. The
+	// drop pattern is a deterministic counter, not a coin flip, so the
+	// loss is partial and reproducible — the measurement plane only
+	// attributes drops to flows that stayed active in the round.
+	faultNum  int
+	faultDen  int
+	faultCtr  uint64
+	faultDrop uint64
 }
 
 // New creates a network around an existing datapath. Wireless hosts are
@@ -57,6 +68,46 @@ func New(dp *datapath.Datapath, w *Wireless) *Network {
 
 // Datapath returns the underlying switch.
 func (n *Network) Datapath() *datapath.Datapath { return n.dp }
+
+// Wireless returns the propagation model applied to station uplinks (the
+// chaos layer's hook for interference bursts).
+func (n *Network) Wireless() *Wireless { return n.wireless }
+
+// SetLinkFault makes the host fabric drop num out of every den frames on
+// the way into the datapath — a flapping cable, a failing switch chip.
+// num <= 0 (or den <= 0) clears the fault. Drops land on the
+// transmitting port's rx-drop counter so the measurement plane
+// attributes the loss to the flows crossing it.
+func (n *Network) SetLinkFault(num, den int) {
+	n.mu.Lock()
+	n.faultNum, n.faultDen = num, den
+	n.faultCtr = 0
+	n.mu.Unlock()
+}
+
+// LinkFaultDrops returns how many frames the injected link fault has
+// discarded since the network came up.
+func (n *Network) LinkFaultDrops() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.faultDrop
+}
+
+// linkFaultDrop advances the fault pattern by one frame and reports
+// whether that frame is dropped.
+func (n *Network) linkFaultDrop() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.faultNum <= 0 || n.faultDen <= 0 {
+		return false
+	}
+	n.faultCtr++
+	if int(n.faultCtr%uint64(n.faultDen)) < n.faultNum {
+		n.faultDrop++
+		return true
+	}
+	return false
+}
 
 // AddHost creates a host, attaches it to a fresh datapath port, and
 // returns it. Wireless hosts are subject to the propagation model.
@@ -207,6 +258,12 @@ func (n *Network) fromHost(h *Host, frame []byte) {
 			return
 		}
 	}
+	if n.linkFaultDrop() {
+		if p, ok := n.dp.Port(h.port); ok {
+			p.CountRxDrop()
+		}
+		return
+	}
 
 	// Conventional-switch shortcut (ablation): unicast frames between
 	// hosts never reach the router.
@@ -308,8 +365,9 @@ func (n *Network) deliverBatch(h *Host, fb *packet.FrameBatch) {
 	}
 	n.mu.Lock()
 	direct := n.directL2
+	faulty := n.faultNum > 0 && n.faultDen > 0
 	n.mu.Unlock()
-	if h.Wireless || direct {
+	if h.Wireless || direct || faulty {
 		for i := 0; i < fb.Len(); i++ {
 			n.fromHost(h, fb.Frame(i))
 		}

@@ -46,8 +46,9 @@ type Wireless struct {
 	D0       float64 // reference distance, metres
 	Shadow   float64 // shadowing stddev, dB
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu           sync.Mutex
+	rng          *rand.Rand
+	interference float64 // extra attenuation, dB (chaos episodes)
 }
 
 // DefaultWireless returns parameters typical of a 2.4 GHz home deployment.
@@ -62,6 +63,22 @@ func DefaultWireless(seed int64) *Wireless {
 	}
 }
 
+// SetInterference adds db decibels of attenuation to every subsequent
+// RSSI sample — a microwave oven, a neighbouring AP, a chaos episode.
+// Zero restores the clean channel. Safe to call concurrently with RSSI.
+func (w *Wireless) SetInterference(db float64) {
+	w.mu.Lock()
+	w.interference = db
+	w.mu.Unlock()
+}
+
+// Interference returns the extra attenuation currently applied, in dB.
+func (w *Wireless) Interference() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.interference
+}
+
 // RSSI returns the received signal strength in dBm at distance d metres.
 func (w *Wireless) RSSI(d float64) int {
 	if d < w.D0 {
@@ -69,7 +86,7 @@ func (w *Wireless) RSSI(d float64) int {
 	}
 	pl := w.PL0 + 10*w.Exponent*math.Log10(d/w.D0)
 	w.mu.Lock()
-	shadow := w.rng.NormFloat64() * w.Shadow
+	shadow := w.rng.NormFloat64()*w.Shadow - w.interference
 	w.mu.Unlock()
 	return int(math.Round(w.TxPower - pl + shadow))
 }
