@@ -15,21 +15,23 @@ race:
 
 # soak runs the time-compressed chaos soak gate under the race detector:
 # two simulated days of scheduled faults over a 16-home fleet with the
-# health/remediation loop live, bounded wall clock. The failing seed is
-# printed by the test; reproduce with
+# health/remediation loop live, bounded wall clock — once on the default
+# single-shard fleet and once across four shard engines (the TestChaosSoak
+# prefix matches both), so the federated telemetry accounting is gated
+# under churn too. The failing seed is printed by the test; reproduce with
 #   go test -race -run TestChaosSoak ./internal/chaos
 soak:
-	$(GO) test -race -run TestChaosSoak -v -timeout 5m ./internal/chaos
+	$(GO) test -race -run TestChaosSoak -v -timeout 8m ./internal/chaos
 
-# bench runs the scenario-matrix perf trajectory — fleet step scaling,
-# settle latency, live telemetry, and the traced-vs-untraced overhead
-# pair — and records the measured numbers as BENCH_6.json. The JSON is
-# committed so the trajectory stays comparable across PRs; CI gates that
-# it parses and carries the headline benchmarks.
+# bench runs the scenario-matrix perf trajectory — fleet step scaling
+# (single-shard and 4-shard), settle latency, live telemetry, and the
+# traced-vs-untraced overhead pair — and records the measured numbers as
+# BENCH_8.json. The JSON is committed so the trajectory stays comparable
+# across PRs; CI gates that it parses and carries the headline benchmarks.
 BENCH_PATTERN := ^(BenchmarkFleetStep|BenchmarkSettleLatency|BenchmarkFleetTelemetry|BenchmarkTraceOverhead)$$
 
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1s -timeout 30m . | tee bench_6.txt
-	$(GO) run ./cmd/benchjson < bench_6.txt > BENCH_6.json
-	@rm -f bench_6.txt
-	@echo "wrote BENCH_6.json"
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1s -timeout 30m . | tee bench_8.txt
+	$(GO) run ./cmd/benchjson < bench_8.txt > BENCH_8.json
+	@rm -f bench_8.txt
+	@echo "wrote BENCH_8.json"

@@ -7,15 +7,15 @@ import (
 	"testing"
 )
 
-// TestBenchRecordParses gates the committed perf trajectory: BENCH_6.json
+// TestBenchRecordParses gates the committed perf trajectory: BENCH_8.json
 // (written by `make bench` via cmd/benchjson) must parse and carry real
 // measurements for the headline benchmarks — fleet step scaling, settle
 // latency, live telemetry — plus the traced/untraced overhead pair, so a
 // PR cannot silently ship a stale or hand-edited record.
 func TestBenchRecordParses(t *testing.T) {
-	data, err := os.ReadFile("BENCH_6.json")
+	data, err := os.ReadFile("BENCH_8.json")
 	if err != nil {
-		t.Fatalf("BENCH_6.json missing (run `make bench`): %v", err)
+		t.Fatalf("BENCH_8.json missing (run `make bench`): %v", err)
 	}
 	var doc struct {
 		Benchmarks []struct {
@@ -25,7 +25,7 @@ func TestBenchRecordParses(t *testing.T) {
 		} `json:"benchmarks"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
-		t.Fatalf("BENCH_6.json does not parse: %v", err)
+		t.Fatalf("BENCH_8.json does not parse: %v", err)
 	}
 	headlines := []string{
 		"BenchmarkFleetStep",
@@ -49,7 +49,7 @@ func TestBenchRecordParses(t *testing.T) {
 			found++
 		}
 		if found == 0 {
-			t.Errorf("BENCH_6.json has no %s results", headline)
+			t.Errorf("BENCH_8.json has no %s results", headline)
 		}
 	}
 
@@ -63,7 +63,7 @@ func TestBenchRecordParses(t *testing.T) {
 			}
 		}
 		if !found {
-			t.Errorf("BENCH_6.json lacks a home-steps/s figure for BenchmarkTraceOverhead/%s", mode)
+			t.Errorf("BENCH_8.json lacks a home-steps/s figure for BenchmarkTraceOverhead/%s", mode)
 		}
 	}
 }

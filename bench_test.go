@@ -506,19 +506,27 @@ func BenchmarkA3RingSizing(b *testing.B) {
 // runs two hosts with a web workload. Both control transports are
 // reported so the in-process win over the loopback-TCP baseline lands in
 // the trajectory (the TCP framing cost is per home, so the gap widens
-// with fleet size).
+// with fleet size). The unqualified names run the default shard count
+// (one engine per core, capped at 8 — one on this box) for comparability
+// with the pre-split trajectory; the shards=4 variants exercise the
+// coordinator fan-out and federated telemetry across four engines.
 func BenchmarkFleetStep(b *testing.B) {
 	for _, kind := range []core.TransportKind{core.TransportInProcess, core.TransportTCP} {
 		for _, homes := range []int{1, 8, 64} {
 			b.Run(fmt.Sprintf("transport=%s/homes=%d", kind, homes), func(b *testing.B) {
-				benchFleetStep(b, homes, kind)
+				benchFleetStep(b, homes, 0, kind)
 			})
 		}
 	}
+	for _, homes := range []int{8, 64} {
+		b.Run(fmt.Sprintf("transport=inprocess/shards=4/homes=%d", homes), func(b *testing.B) {
+			benchFleetStep(b, homes, 4, core.TransportInProcess)
+		})
+	}
 }
 
-func benchFleetStep(b *testing.B, homes int, kind core.TransportKind) {
-	benchFleetStepCfg(b, homes, kind, false)
+func benchFleetStep(b *testing.B, homes, shards int, kind core.TransportKind) {
+	benchFleetStepCfg(b, homes, shards, kind, false)
 }
 
 // BenchmarkTraceOverhead prices the always-on punt-lifecycle tracing: the
@@ -537,14 +545,14 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		{"untraced", true},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
-			benchFleetStepCfg(b, 64, core.TransportInProcess, mode.disable)
+			benchFleetStepCfg(b, 64, 0, core.TransportInProcess, mode.disable)
 		})
 	}
 }
 
-func benchFleetStepCfg(b *testing.B, homes int, kind core.TransportKind, disableTrace bool) {
+func benchFleetStepCfg(b *testing.B, homes, shards int, kind core.TransportKind, disableTrace bool) {
 	f := fleet.New(fleet.Config{
-		Clock: clock.NewSimulated(), Seed: 5,
+		Clock: clock.NewSimulated(), Seed: 5, Shards: shards,
 		HomeConfig: func(id uint64, cfg *core.Config) {
 			cfg.Transport = kind
 			cfg.DisableTrace = disableTrace
@@ -665,23 +673,25 @@ func benchSettleLatency(b *testing.B, homes int) {
 	b.ReportMetric(float64(samples[len(samples)*99/100].Nanoseconds()), "p99-ns/settle")
 }
 
-// BenchmarkFleetAggregate compares the cost of taking a fleet-wide delta
-// snapshot after one interval of traffic, live vs on-demand, at 8 homes.
-// On the live path the fold already happened inside Step (the telemetry
-// hub streams rows as they land), so Aggregate only swaps the per-home
-// period counters; the on-demand baseline pays the PR-1 cursor scan over
-// every home's rings inside the timed region.
+// BenchmarkFleetAggregate prices taking a fleet-wide delta snapshot
+// after one interval of traffic at 8 homes. The fold already happened
+// inside Step (the telemetry hub streams rows as they land), so
+// Aggregate only swaps the per-home period counters. The PR-1 on-demand
+// cursor-scan baseline it used to be compared against (deprecated
+// Fleet.FoldOnDemand, ~43 µs per pass at 8 homes) was deleted with the
+// engine/coordinator split; its recorded numbers live on in
+// BENCH_6.json.
 func BenchmarkFleetAggregate(b *testing.B) {
 	b.Run("path=live", func(b *testing.B) {
-		benchFleetAggregate(b, func(f *fleet.Fleet) { f.Aggregate() })
+		benchFleetAggregate(b, 0, func(f *fleet.Fleet) { f.Aggregate() })
 	})
-	b.Run("path=ondemand", func(b *testing.B) {
-		benchFleetAggregate(b, func(f *fleet.Fleet) { f.FoldOnDemand() })
+	b.Run("path=live/shards=4", func(b *testing.B) {
+		benchFleetAggregate(b, 4, func(f *fleet.Fleet) { f.Aggregate() })
 	})
 }
 
-func benchFleetAggregate(b *testing.B, read func(*fleet.Fleet)) {
-	f := fleet.New(fleet.Config{Clock: clock.NewSimulated(), Seed: 5})
+func benchFleetAggregate(b *testing.B, shards int, read func(*fleet.Fleet)) {
+	f := fleet.New(fleet.Config{Clock: clock.NewSimulated(), Seed: 5, Shards: shards})
 	b.Cleanup(f.Stop)
 	if _, err := f.AddHomes(8); err != nil {
 		b.Fatal(err)
@@ -713,25 +723,30 @@ func benchFleetAggregate(b *testing.B, read func(*fleet.Fleet)) {
 	}
 }
 
-// BenchmarkFleetTelemetry is the headline comparison for the telemetry
-// subsystem: the latency of reading the current fleet-wide state, live
-// (hub-maintained Totals: one mutex and a struct copy, no ring touched)
-// vs the on-demand fold (O(homes x tables) cursor reads even when
-// nothing changed), as the fleet grows 1 -> 8 -> 64 homes. The live read
-// should be flat across fleet size and allocation-free.
+// BenchmarkFleetTelemetry is the headline read-latency number for the
+// telemetry subsystem: reading the current fleet-wide state from the
+// federated folder (hub-maintained Totals: one mutex and a struct copy,
+// no ring touched, no shard called) as the fleet grows 1 -> 8 -> 64
+// homes, plus a 4-shard variant pinning that federation keeps the read
+// O(1) — the global folder is maintained at stream time, so shard count
+// does not appear in the read path. The live read should be flat across
+// both axes and allocation-free. (The PR-1 on-demand fold it was
+// measured against — O(homes x tables) cursor reads, ~43 µs at 64
+// homes — was deleted with the engine/coordinator split; BENCH_6.json
+// keeps its recorded numbers.)
 func BenchmarkFleetTelemetry(b *testing.B) {
 	for _, homes := range []int{1, 8, 64} {
 		b.Run(fmt.Sprintf("read=live/homes=%d", homes), func(b *testing.B) {
-			benchFleetTelemetry(b, homes, true)
-		})
-		b.Run(fmt.Sprintf("read=ondemand/homes=%d", homes), func(b *testing.B) {
-			benchFleetTelemetry(b, homes, false)
+			benchFleetTelemetry(b, homes, 0)
 		})
 	}
+	b.Run("read=live/shards=4/homes=64", func(b *testing.B) {
+		benchFleetTelemetry(b, 64, 4)
+	})
 }
 
-func benchFleetTelemetry(b *testing.B, homes int, live bool) {
-	f := fleet.New(fleet.Config{Clock: clock.NewSimulated(), Seed: 5})
+func benchFleetTelemetry(b *testing.B, homes, shards int) {
+	f := fleet.New(fleet.Config{Clock: clock.NewSimulated(), Seed: 5, Shards: shards})
 	b.Cleanup(f.Stop)
 	if _, err := f.AddHomes(homes); err != nil {
 		b.Fatal(err)
@@ -748,20 +763,13 @@ func benchFleetTelemetry(b *testing.B, homes int, live bool) {
 			b.Fatal(err)
 		}
 	}
-	if live && f.Totals().Flows == 0 {
+	if f.Totals().Flows == 0 {
 		b.Fatal("no live traffic to read")
 	}
-	f.FoldOnDemand() // consume the backlog so ondemand measures the scan floor
 	b.ReportAllocs()
 	b.ResetTimer()
-	if live {
-		for i := 0; i < b.N; i++ {
-			_ = f.Totals()
-		}
-	} else {
-		for i := 0; i < b.N; i++ {
-			_ = f.FoldOnDemand()
-		}
+	for i := 0; i < b.N; i++ {
+		_ = f.Totals()
 	}
 }
 

@@ -1,8 +1,8 @@
 // Command hwfleetd runs a fleet of Homework homes in one process: N
 // independent routers (each with its own datapath, controller modules,
-// hwdb and simulated home network) stepped concurrently by a sharded
-// worker pool, with every home's hwdb folded into a fleet-wide
-// FleetStats view.
+// hwdb and simulated home network) placed across shard-local engines by
+// the fleet coordinator, with every shard's telemetry hub federated into
+// one fleet-wide FleetStats view.
 //
 //	hwfleetd [-homes 64] [-hosts 3] [-shards 8] [-duration 10] [-scenario fleet.json]
 //	         [-stats 127.0.0.1:0] [-linger 30s] [-debug-addr 127.0.0.1:6060]
@@ -75,7 +75,7 @@ func main() {
 	scenarioPath := flag.String("scenario", "", "scenario JSON file (defaults applied to absent fields)")
 	homes := flag.Int("homes", 0, "override: number of homes")
 	hosts := flag.Int("hosts", 0, "override: hosts per home")
-	shards := flag.Int("shards", 0, "override: worker shards (0 = fleet default)")
+	shards := flag.Int("shards", 0, "override: shard engines (0 = fleet default)")
 	duration := flag.Float64("duration", 0, "override: simulated seconds to run")
 	churn := flag.Float64("churn", -1, "override: churn events per home per simulated minute")
 	seed := flag.Int64("seed", 0, "override: fleet seed")
@@ -170,6 +170,31 @@ func main() {
 	fmt.Printf("flows     %d observations, %d packets, %d bytes\n",
 		rep.Totals.Flows, rep.Totals.Packets, rep.Totals.Bytes)
 	fmt.Printf("links     %d observations (%d rows lost to ring wrap)\n", rep.Totals.Links, rep.Totals.Lost)
+	// Per-shard engine reports, reconciled against the federated view:
+	// every home is hosted by exactly one shard and the shard hubs' books
+	// must sum to the global accounting. A mismatch is a federation bug —
+	// fail loudly rather than print a report that disagrees with itself.
+	fl := runner.Fleet()
+	var sumHomes int
+	var sumDelivered, sumLost, sumRows uint64
+	fmt.Println("shards (engine-local books):")
+	for _, ss := range fl.ShardStats() {
+		fmt.Printf("  shard %-3d %4d homes  %10d delivered + %6d lost  %10d rows folded\n",
+			ss.Shard, ss.Homes, ss.Hub.Delivered, ss.Hub.Lost, ss.Totals.Rows)
+		sumHomes += ss.Homes
+		sumDelivered += ss.Hub.Delivered
+		sumLost += ss.Hub.Lost
+		sumRows += ss.Totals.Rows
+	}
+	fedStats := fl.Hub().Stats()
+	if sumHomes != fl.Size() || sumDelivered != fedStats.Delivered || sumLost != fedStats.Lost ||
+		sumRows != fl.Telemetry().Totals().Rows {
+		fmt.Fprintf(os.Stderr,
+			"error: per-shard reports disagree with the global view: homes %d/%d, delivered %d/%d, lost %d/%d, rows %d/%d\n",
+			sumHomes, fl.Size(), sumDelivered, fedStats.Delivered,
+			sumLost, fedStats.Lost, sumRows, fl.Telemetry().Totals().Rows)
+		os.Exit(1)
+	}
 	if tot := runner.Fleet().Telemetry().Totals(); tot.PerfRows > 0 {
 		lossPct := 100 * float64(tot.LostPkts) / float64(tot.TxPkts)
 		fmt.Printf("flowperf  %d rows: %d tx pkts, %d lost (%.2f%%)",

@@ -159,9 +159,13 @@ func NewUSBMonitor(root string, rt *Router) *USBMonitor {
 	return usbmon.New(root, rt.Policy)
 }
 
-// Fleet orchestrates many independent Homework homes in one process:
-// sharded concurrent stepping, a fleet-wide hwdb stats view, and
-// declarative workload scenarios (see cmd/hwfleetd).
+// Fleet orchestrates many independent Homework homes in one process. It
+// is the fleet's placement control plane — a coordinator that places
+// homes across shard-local engines (FleetConfig.Shards), owns the
+// spawn/drain/migrate/restart/replace lifecycle, and federates every
+// shard's telemetry into one fleet-wide view. Declarative workload
+// scenarios drive it end to end (see cmd/hwfleetd and
+// docs/ARCHITECTURE.md "Fleet control plane").
 type Fleet = fleet.Fleet
 
 // FleetConfig parameterizes a fleet.
@@ -198,7 +202,9 @@ func RunFleetScenario(s FleetScenario, logf func(string, ...any)) (*FleetReport,
 // FleetTelemetry is the live fleet-wide telemetry folder: continuously
 // maintained totals, windowed per-home and per-device rates, and the
 // FleetStats view database, all readable without a fold pass. Reach it
-// via Fleet.Telemetry().
+// via Fleet.Telemetry(); it is the federated global folder, fed by every
+// shard engine's hub, so it reads as one coherent fleet regardless of
+// shard count.
 type FleetTelemetry = telemetry.Folder
 
 // FleetRate is a windowed byte/packet throughput estimate.

@@ -33,7 +33,10 @@ type SoakConfig struct {
 	// Seed derives the fleet, the schedule and every magnitude draw; a
 	// failing soak reproduces from it (default 1).
 	Seed int64
-	// Shards overrides the fleet worker-pool width (0 = fleet default).
+	// Shards overrides the fleet's shard-engine count (0 = fleet
+	// default). Each shard runs its own engine and telemetry hub; the
+	// soak's accounting invariant reads the federated books, so it holds
+	// across any shard count.
 	Shards int
 	// EpisodesPerHome caps scheduled episodes per home (0 = pack the
 	// window; see BuildSchedule).

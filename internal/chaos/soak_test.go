@@ -33,3 +33,28 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatalf("soak blew the wall budget: %v > 60s (seed %d)", res.Wall, res.Seed)
 	}
 }
+
+// TestChaosSoakSharded re-runs the soak gate over four shard engines:
+// homes are spread across four hubs and every restart/replace retires
+// sources on whichever shard hosted the incarnation, so the exact
+// delivered+lost accounting must now hold through the federation, not a
+// single hub. `make soak` runs both via the TestChaosSoak prefix.
+func TestChaosSoakSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("time-compressed soak in -short mode")
+	}
+	cfg := SoakConfig{Seed: 1, Shards: 4, Logf: t.Logf}
+	res, err := Soak(cfg)
+	if res != nil {
+		t.Logf("sharded soak seed %d: %d homes, %d+%d steps (%s simulated), wall %v",
+			res.Seed, res.Homes, res.Steps, res.Extra, res.SimSpan, res.Wall)
+		t.Logf("telemetry: %d delivered + %d lost = %d inserts",
+			res.HubDelivered, res.HubLost, res.Inserts)
+	}
+	if err != nil {
+		t.Fatalf("sharded chaos soak failed (reproduce with seed %d): %v", cfg.Seed, err)
+	}
+	if res.Wall > 60*time.Second {
+		t.Fatalf("sharded soak blew the wall budget: %v > 60s (seed %d)", res.Wall, res.Seed)
+	}
+}

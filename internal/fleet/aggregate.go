@@ -1,10 +1,8 @@
 package fleet
 
 import (
-	"sync"
 	"time"
 
-	"repro/internal/hwdb"
 	"repro/internal/telemetry"
 )
 
@@ -73,90 +71,4 @@ func snapshotFromPeriod(when time.Time, ps []telemetry.PeriodStats, folds uint64
 	}
 	snap.FleetTotals.Homes = len(ps)
 	return snap
-}
-
-// ---------------------------------------------------- on-demand baseline
-
-// cursor marks how many of a home's ring inserts previous folds consumed.
-type cursor struct {
-	flows uint64
-	links uint64
-}
-
-// onDemand is the PR-1 fold path kept as a measured baseline: a full
-// cursor scan over every home's Flows and Links rings per call. It reads
-// with its own cursors (hwdb.Table.Tail does not consume), so running it
-// never perturbs the live telemetry path it is compared against.
-type onDemand struct {
-	mu      sync.Mutex
-	cursors map[uint64]cursor
-}
-
-func newOnDemand() *onDemand {
-	return &onDemand{cursors: make(map[uint64]cursor)}
-}
-
-// fold reads every home's unread rows forward from this baseline's own
-// cursors and reduces them to per-home deltas: O(homes x tables) lock
-// acquisitions per call even when nothing changed.
-func (a *onDemand) fold(homes []*Home, when time.Time) FleetSnapshot {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	snap := FleetSnapshot{When: when}
-	for _, h := range homes {
-		cur := a.cursors[h.ID]
-		hs := HomeStats{Home: h.ID, Hosts: h.Router.Net.HostCount()}
-		db := h.Router.DB
-
-		if t, ok := db.Table(hwdb.TableFlows); ok {
-			schema := t.Schema()
-			macIdx, _ := schema.Index("mac")
-			pktIdx, _ := schema.Index("packets")
-			bytIdx, _ := schema.Index("bytes")
-			rows, inserts, lost := t.Tail(cur.flows)
-			cur.flows = inserts
-			hs.Lost += lost
-			devices := make(map[int64]struct{})
-			for _, row := range rows {
-				hs.Flows++
-				hs.Packets += uint64(row.Vals[pktIdx].Int)
-				hs.Bytes += uint64(row.Vals[bytIdx].Int)
-				devices[row.Vals[macIdx].Int] = struct{}{}
-			}
-			hs.Devices = len(devices)
-		}
-		if t, ok := db.Table(hwdb.TableLinks); ok {
-			schema := t.Schema()
-			rssiIdx, _ := schema.Index("rssi")
-			rows, inserts, lost := t.Tail(cur.links)
-			cur.links = inserts
-			hs.Lost += lost
-			var rssiSum float64
-			for _, row := range rows {
-				hs.Links++
-				rssiSum += row.Vals[rssiIdx].AsFloat()
-			}
-			if hs.Links > 0 {
-				hs.MeanRSSI = rssiSum / float64(hs.Links)
-			}
-		}
-		a.cursors[h.ID] = cur
-
-		snap.Homes = append(snap.Homes, hs)
-		snap.FleetTotals.Hosts += hs.Hosts
-		snap.Flows += uint64(hs.Flows)
-		snap.Packets += hs.Packets
-		snap.Bytes += hs.Bytes
-		snap.Links += uint64(hs.Links)
-		snap.Lost += hs.Lost
-	}
-	snap.FleetTotals.Homes = len(homes)
-	return snap
-}
-
-// forget drops a removed home's baseline cursor.
-func (a *onDemand) forget(id uint64) {
-	a.mu.Lock()
-	delete(a.cursors, id)
-	a.mu.Unlock()
 }

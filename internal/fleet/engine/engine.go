@@ -1,0 +1,408 @@
+// Package engine is the shard-local half of the fleet control plane: an
+// Engine owns a set of homes (each a full core.Router), the worker pool
+// that steps them, per-home vitals, and its own telemetry hub + folder —
+// and nothing else. It has no knowledge of global membership, placement
+// or remediation policy; those live in the fleet coordinator, which
+// drives engines through the narrow fleet.ShardClient contract
+// (assign/drain/step/sync/stats) so the later network hop between
+// coordinator and engine is a transport swap, not another refactor. See
+// docs/ARCHITECTURE.md "Fleet control plane".
+//
+// Concurrency: one engine's workers step disjoint home subsets
+// concurrently, but within a tick each home is touched only by its own
+// worker, in ascending ID order. Drive Step from one goroutine at a
+// time; Assign/Drain may race Step and take effect at the next tick's
+// plan rebuild. Reads (Stats, Folder, Hub) are safe from any goroutine.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Config parameterizes one shard engine.
+type Config struct {
+	// Index is this engine's shard number in the fleet — used only to
+	// label stats and scheduler observations; the engine itself is
+	// placement-blind.
+	Index int
+	// Workers is the engine's worker-pool width; homes are assigned to
+	// workers by ID modulo Workers, so assignment is stable under churn.
+	// Default 1: the engine steps its homes sequentially and fleet-level
+	// concurrency comes from stepping engines in parallel.
+	Workers int
+	// Clock, when set, is shared by every home (pass a *clock.Simulated
+	// for deterministic runs; the coordinator advances it, not the
+	// engine — an engine must not move time the other shards share).
+	Clock clock.Clock
+	// Seed derives each home's wireless/churn randomness (home i uses
+	// Seed+i) — the fleet-global seed, so a home's trajectory does not
+	// depend on which shard it lands on.
+	Seed int64
+	// MeasureEvery is how many steps elapse between hwdb measurement
+	// polls in each home (default 1: poll every step).
+	MeasureEvery int
+	// ViewRing bounds this engine's per-shard FleetStats view ring
+	// (default telemetry.DefaultViewRing).
+	ViewRing int
+	// HomeConfig, when set, mutates each new home's router config after
+	// the engine defaults (AutoPermit, Seed, Clock) are applied.
+	HomeConfig func(id uint64, cfg *core.Config)
+	// OnStep observes scheduler activity (tests only): it runs inside
+	// the worker, before the home is stepped, with the engine's Index as
+	// the shard argument.
+	OnStep func(shard int, home uint64, step uint64)
+}
+
+// Stats is one engine's self-reported state: how many homes it holds,
+// its hub's delivery accounting and its folder's per-shard totals. The
+// coordinator's federated view must always reconcile with the sum of
+// these.
+type Stats struct {
+	Shard  int
+	Homes  int
+	Steps  uint64
+	Hub    telemetry.HubStats
+	Totals telemetry.Totals
+}
+
+// Engine steps a set of homes and streams their telemetry. It is the
+// in-process implementation of the fleet.ShardClient contract.
+type Engine struct {
+	cfg    Config
+	pool   *pool
+	hub    *telemetry.Hub
+	folder *telemetry.Folder
+	clk    clock.Clock
+
+	mu     sync.Mutex
+	homes  map[uint64]*Home
+	steps  uint64
+	closed bool
+	// plan is the homes-per-worker stepping plan (ascending ID within
+	// each worker), rebuilt only when membership changes instead of
+	// sorted and repartitioned on every tick.
+	plan      [][]*Home
+	planDirty bool
+}
+
+// New creates an empty engine; the coordinator assigns homes to it.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.MeasureEvery <= 0 {
+		cfg.MeasureEvery = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	// The hub runs manual: Sync flushes it after every step barrier, so
+	// delivery is deterministic under a simulated clock and there is no
+	// background goroutine racing the workers.
+	hub := telemetry.NewHub(telemetry.HubConfig{Manual: true})
+	return &Engine{
+		cfg:    cfg,
+		pool:   newPool(cfg.Workers),
+		hub:    hub,
+		folder: telemetry.NewFolder(hub, telemetry.FolderConfig{Clock: clk, ViewRing: cfg.ViewRing}),
+		clk:    clk,
+		homes:  make(map[uint64]*Home),
+	}
+}
+
+// Index returns the engine's shard number.
+func (e *Engine) Index() int { return e.cfg.Index }
+
+// Size returns the number of homes the engine holds.
+func (e *Engine) Size() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.homes)
+}
+
+// Assign builds, starts and registers a home under id. The home's router
+// runs with AutoPermit (fleet homes have no per-home operator) and
+// without the per-home hwdb RPC server — the fleet's aggregated view
+// stands in for it. The telemetry hub re-watching a previously-used
+// SourceID retires the old source (with a final drain) before the new
+// one attaches, so churn, in-place restarts and migrations never leak or
+// double-count watch state.
+func (e *Engine) Assign(id uint64) error {
+	cfg := core.DefaultConfig()
+	cfg.AutoPermit = true
+	cfg.DisableRPC = true
+	cfg.Seed = e.cfg.Seed + int64(id)
+	if e.cfg.Clock != nil {
+		cfg.Clock = e.cfg.Clock
+	}
+	if e.cfg.HomeConfig != nil {
+		e.cfg.HomeConfig(id, &cfg)
+	}
+	rt, err := core.New(cfg)
+	if err != nil {
+		return fmt.Errorf("fleet: home %d: %w", id, err)
+	}
+	if err := rt.Start(); err != nil {
+		rt.Stop()
+		return fmt.Errorf("fleet: home %d: %w", id, err)
+	}
+	h := &Home{
+		ID:     id,
+		Name:   fmt.Sprintf("home-%d", id),
+		Router: rt,
+		rng:    rand.New(rand.NewSource(e.cfg.Seed + int64(id))),
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		rt.Stop()
+		return errors.New("fleet: engine closed")
+	}
+	if _, dup := e.homes[id]; dup {
+		e.mu.Unlock()
+		rt.Stop()
+		return fmt.Errorf("fleet: home %d already live", id)
+	}
+	e.homes[id] = h
+	e.planDirty = true
+	e.mu.Unlock()
+
+	// Feed the home's measurement tables into the telemetry hub: from
+	// here on, every hwdb insert streams into the live shard view (and,
+	// through the coordinator's federation, the global one).
+	e.folder.AddHome(id, rt.Net.HostCount)
+	for _, name := range watchedTables {
+		if t, ok := rt.DB.Table(name); ok {
+			e.hub.Watch(telemetry.SourceID{Home: id, Table: name}, t)
+		}
+	}
+	return nil
+}
+
+// Drain tears one home down. The router stops first, then the hub drains
+// whatever its tables still held (so the rows land in the shard's
+// cumulative totals — and the federation's — before the sources retire),
+// and only then is the home's per-home telemetry state dropped. Its
+// contribution to the totals and its committed view rows remain. This is
+// the settle + final-flush + retire-accounting half of every lifecycle
+// transition: remove, restart, replace and migrate all start here.
+func (e *Engine) Drain(id uint64) bool {
+	e.mu.Lock()
+	h, ok := e.homes[id]
+	if ok {
+		delete(e.homes, id)
+		e.planDirty = true
+	}
+	e.mu.Unlock()
+	if !ok {
+		return false
+	}
+	h.Router.Stop()
+	for _, name := range watchedTables {
+		e.hub.Unwatch(telemetry.SourceID{Home: id, Table: name})
+	}
+	e.folder.RemoveHome(id)
+	return true
+}
+
+// Cordon takes a home out of rotation: subsequent Steps skip it (no
+// traffic, no settle, no measurement poll) while its router and
+// telemetry sources stay live, so a sick home stops consuming its
+// worker's step budget but remains inspectable. Returns false if the
+// home is not on this engine.
+func (e *Engine) Cordon(id uint64) bool {
+	h, ok := e.Home(id)
+	if !ok {
+		return false
+	}
+	h.cordoned.Store(true)
+	return true
+}
+
+// Uncordon returns a cordoned home to rotation. Returns false if the
+// home is not on this engine.
+func (e *Engine) Uncordon(id uint64) bool {
+	h, ok := e.Home(id)
+	if !ok {
+		return false
+	}
+	h.cordoned.Store(false)
+	return true
+}
+
+// Home returns one of the engine's homes by ID. In-process only: remote
+// shard clients will expose vitals through Stats instead.
+func (e *Engine) Home(id uint64) (*Home, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h, ok := e.homes[id]
+	return h, ok
+}
+
+// Homes returns the engine's homes in ascending ID order — the same
+// order each worker steps its subset in.
+func (e *Engine) Homes() []*Home {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.orderedLocked()
+}
+
+func (e *Engine) orderedLocked() []*Home {
+	out := make([]*Home, 0, len(e.homes))
+	for _, h := range e.homes {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Step advances every home the engine holds by dt simulated seconds:
+// traffic emits, each control path drains (Router.Settle — an
+// event-driven wait on the punt/processed epoch, not a poll; see
+// docs/CONTROL_PLANE.md), and (every MeasureEvery-th step) each
+// measurement plane polls flow and link state into its hwdb. Homes are
+// partitioned across the workers by ID modulo Workers and each worker
+// steps its homes in ascending ID order, so the per-home step sequence
+// is deterministic regardless of scheduling. Step is a pure barrier: it
+// does not advance any shared clock and does not flush telemetry — the
+// coordinator owns both, once per fleet tick across all shards.
+func (e *Engine) Step(dt float64) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return errors.New("fleet: engine closed")
+	}
+	e.steps++
+	step := e.steps
+	if e.plan == nil || e.planDirty {
+		e.plan = make([][]*Home, e.cfg.Workers)
+		for _, h := range e.orderedLocked() {
+			w := workerOf(h.ID, e.cfg.Workers)
+			e.plan[w] = append(e.plan[w], h)
+		}
+		e.planDirty = false
+	}
+	byWorker := e.plan
+	e.mu.Unlock()
+
+	errs := make([]error, e.cfg.Workers)
+	var wg sync.WaitGroup
+	for wi, hs := range byWorker {
+		if len(hs) == 0 {
+			continue
+		}
+		wi, hs := wi, hs
+		wg.Add(1)
+		e.pool.submit(wi, func() {
+			defer wg.Done()
+			for _, h := range hs {
+				if h.cordoned.Load() {
+					continue
+				}
+				if e.cfg.OnStep != nil {
+					e.cfg.OnStep(e.cfg.Index, h.ID, step)
+				}
+				if err := h.step(dt, e.cfg.MeasureEvery); err != nil && errs[wi] == nil {
+					errs[wi] = fmt.Errorf("fleet: home %d: %w", h.ID, err)
+				}
+			}
+		})
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Sync flushes the engine's telemetry hub (delivering every row whose
+// insert completed) and commits one per-shard FleetStats view row per
+// active home. The coordinator calls it after every step barrier, in
+// shard order, so federated fan-out stays deterministic.
+func (e *Engine) Sync() {
+	e.hub.Flush()
+	e.folder.Commit()
+}
+
+// Steps returns how many ticks the engine has run.
+func (e *Engine) Steps() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.steps
+}
+
+// Stats reports the engine's membership, stepping and telemetry
+// accounting. Hub.Delivered+Hub.Lost covers every row any of the
+// engine's home incarnations ever inserted (including drained ones).
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	homes, steps := len(e.homes), e.steps
+	e.mu.Unlock()
+	return Stats{
+		Shard:  e.cfg.Index,
+		Homes:  homes,
+		Steps:  steps,
+		Hub:    e.hub.Stats(),
+		Totals: e.folder.Totals(),
+	}
+}
+
+// TraceSnapshot merges the punt-lifecycle trace histograms of every home
+// the engine currently holds. Homes built with core.Config.DisableTrace
+// contribute nothing. Safe to call concurrently with Step: snapshots
+// read the tracers' atomics, never their locks.
+func (e *Engine) TraceSnapshot() trace.Snapshot {
+	var merged trace.Snapshot
+	for _, h := range e.Homes() {
+		if t := h.Router.Tracer; t != nil {
+			merged.Merge(t.Snapshot())
+		}
+	}
+	return merged
+}
+
+// Hub exposes the engine's subscription hub, e.g. to attach a federating
+// subscriber or read delivery/loss accounting.
+func (e *Engine) Hub() *telemetry.Hub { return e.hub }
+
+// Folder exposes the engine's per-shard folder: the shard-local
+// FleetStats view and totals.
+func (e *Engine) Folder() *telemetry.Folder { return e.folder }
+
+// Close tears every home down, closes the telemetry hub and releases the
+// worker pool.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	homes := e.orderedLocked()
+	e.homes = make(map[uint64]*Home)
+	e.plan, e.planDirty = nil, true
+	e.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, h := range homes {
+		wg.Add(1)
+		go func(h *Home) {
+			defer wg.Done()
+			h.Router.Stop()
+		}(h)
+	}
+	wg.Wait()
+	e.hub.Close()
+	e.pool.close()
+}

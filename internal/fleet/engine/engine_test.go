@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+)
+
+// engineInserts totals an engine's homes' inserts across the watched
+// tables — the ground truth its hub books must account for.
+func engineInserts(homes []*Home) uint64 {
+	var total uint64
+	for _, h := range homes {
+		for _, name := range watchedTables {
+			if t, ok := h.Router.DB.Table(name); ok {
+				ins, _ := t.Stats()
+				total += ins
+			}
+		}
+	}
+	return total
+}
+
+// TestEngineLifecycle drives the full ShardClient contract on one engine
+// in isolation — assign, duplicate-assign rejection, step, sync, stats,
+// drain, retired accounting, close — with no coordinator above it.
+func TestEngineLifecycle(t *testing.T) {
+	clk := clock.NewSimulated()
+	e := New(Config{Index: 2, Clock: clk, Seed: 7})
+	defer e.Close()
+
+	if err := e.Assign(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Assign(7); err == nil || !strings.Contains(err.Error(), "already live") {
+		t.Fatalf("duplicate assign error = %v", err)
+	}
+	h, ok := e.Home(7)
+	if !ok {
+		t.Fatal("home 7 not registered")
+	}
+	host, err := h.Join("", true, netsim.Pos{X: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Router.Upstream.AddZone("svc.example", packet.IP4{203, 0, 113, 9})
+	host.AddApp(netsim.NewApp(netsim.AppWeb, "svc.example", 60_000))
+
+	for i := 0; i < 3; i++ {
+		if err := e.Step(0.25); err != nil {
+			t.Fatal(err)
+		}
+		// The coordinator owns the shared clock and the sync; emulate it.
+		clk.Advance(250 * time.Millisecond)
+		e.Sync()
+	}
+
+	st := e.Stats()
+	if st.Shard != 2 || st.Homes != 1 || st.Steps != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	want := engineInserts(e.Homes())
+	if want == 0 {
+		t.Fatal("stepping inserted nothing — test exercised nothing")
+	}
+	if st.Hub.Delivered+st.Hub.Lost != want {
+		t.Fatalf("hub delivered %d + lost %d != %d inserts", st.Hub.Delivered, st.Hub.Lost, want)
+	}
+	if st.Totals.Rows+st.Hub.Lost != want {
+		t.Fatalf("folder consumed %d of %d rows", st.Totals.Rows, want)
+	}
+
+	// Drain: frozen tables become the retired ground truth; the books
+	// still balance after the per-home state drops.
+	retired := engineInserts([]*Home{h})
+	if !e.Drain(7) {
+		t.Fatal("drain returned false for a live home")
+	}
+	if e.Drain(7) {
+		t.Fatal("second drain returned true")
+	}
+	if e.Size() != 0 {
+		t.Fatalf("engine still holds %d homes", e.Size())
+	}
+	st = e.Stats()
+	if st.Hub.Sources != 0 || st.Hub.Delivered+st.Hub.Lost != retired {
+		t.Fatalf("post-drain books = %+v, want %d retired rows", st.Hub, retired)
+	}
+	if st.Totals.Homes != 0 || st.Totals.Rows+st.Hub.Lost != retired {
+		t.Fatalf("post-drain totals = %+v", st.Totals)
+	}
+
+	e.Close()
+	if err := e.Assign(8); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("assign on closed engine = %v", err)
+	}
+	if err := e.Step(0.25); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("step on closed engine = %v", err)
+	}
+}
+
+// TestEngineCordonSkipsStepping pins that a cordoned home is skipped by
+// the step plan but stays live and inspectable, and rejoins rotation on
+// uncordon.
+func TestEngineCordonSkipsStepping(t *testing.T) {
+	clk := clock.NewSimulated()
+	var stepped []uint64
+	e := New(Config{Clock: clk, Seed: 7, OnStep: func(_ int, home uint64, _ uint64) {
+		stepped = append(stepped, home)
+	}})
+	defer e.Close()
+	for id := uint64(0); id < 2; id++ {
+		if err := e.Assign(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !e.Cordon(1) {
+		t.Fatal("cordon returned false")
+	}
+	if err := e.Step(0.25); err != nil {
+		t.Fatal(err)
+	}
+	if len(stepped) != 1 || stepped[0] != 0 {
+		t.Fatalf("stepped %v with home 1 cordoned", stepped)
+	}
+	h, ok := e.Home(1)
+	if !ok || !h.Cordoned() {
+		t.Fatal("cordoned home not inspectable")
+	}
+	if !e.Uncordon(1) {
+		t.Fatal("uncordon returned false")
+	}
+	stepped = nil
+	if err := e.Step(0.25); err != nil {
+		t.Fatal(err)
+	}
+	if len(stepped) != 2 {
+		t.Fatalf("stepped %v after uncordon", stepped)
+	}
+	if e.Cordon(99) || e.Uncordon(99) {
+		t.Fatal("cordon/uncordon of unknown home returned true")
+	}
+}

@@ -1,16 +1,17 @@
-package fleet
+package engine
 
 import "sync"
 
-// shardOf assigns a home to a worker shard. ID modulo shard count keeps
-// the assignment stable under churn: removing a home never reassigns any
-// other home, and a re-added ID lands back on its old shard.
-func shardOf(id uint64, shards int) int {
-	return int(id % uint64(shards))
+// workerOf assigns a home to one of the engine's workers. ID modulo
+// worker count keeps the assignment stable under churn: draining a home
+// never reassigns any other home, and a re-assigned ID lands back on its
+// old worker.
+func workerOf(id uint64, workers int) int {
+	return int(id % uint64(workers))
 }
 
-// pool is the fleet's worker pool: one long-lived goroutine per shard,
-// each consuming jobs from its own queue. A shard therefore executes its
+// pool is the engine's worker pool: one long-lived goroutine per worker,
+// each consuming jobs from its own queue. A worker therefore executes its
 // jobs strictly in submission order, which (with homes submitted in
 // ascending ID order) gives deterministic per-home stepping without any
 // per-step goroutine churn.
@@ -22,10 +23,10 @@ type pool struct {
 	closed bool
 }
 
-func newPool(shards int) *pool {
-	p := &pool{queues: make([]chan func(), shards)}
+func newPool(workers int) *pool {
+	p := &pool{queues: make([]chan func(), workers)}
 	for i := range p.queues {
-		// Small buffer: Step submits one job per shard and waits, so the
+		// Small buffer: Step submits one job per worker and waits, so the
 		// queue never grows; the buffer just decouples submit from the
 		// worker picking the job up.
 		q := make(chan func(), 4)
@@ -41,10 +42,10 @@ func newPool(shards int) *pool {
 	return p
 }
 
-// submit enqueues a job on one shard's queue. Jobs submitted to the same
-// shard run sequentially in submission order; different shards run
+// submit enqueues a job on one worker's queue. Jobs submitted to the same
+// worker run sequentially in submission order; different workers run
 // concurrently.
-func (p *pool) submit(shard int, job func()) {
+func (p *pool) submit(worker int, job func()) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -56,7 +57,7 @@ func (p *pool) submit(shard int, job func()) {
 	// Enqueue under the lock so close() cannot close the channel between
 	// the check and the send. The send cannot block for long: workers
 	// never enqueue, they only drain.
-	p.queues[shard] <- job
+	p.queues[worker] <- job
 	p.mu.Unlock()
 }
 

@@ -2,656 +2,95 @@
 // process: the architectural seam between the paper's single-home router
 // and the ROADMAP's production-scale, million-user deployment. Each home
 // is a full core.Router — its own datapath, NOX controller modules, hwdb
-// and simulated network — and the fleet drives them through a sharded
-// worker pool with deterministic per-home ordering, streams every home's
-// hwdb link/flow/lease tables through the push-based telemetry hub into a
-// continuously-live fleet-wide FleetStats view, and runs declarative
-// scenarios (home count, hosts per home, app mix, churn) so diverse
-// workloads are one config away. Fleet homes default to the in-process
-// control transport (core.TransportInProcess): with controller and
-// datapath co-resident there is no reason to pay loopback-TCP framing per
-// home, and no per-home socket pair to exhaust descriptors at scale.
+// and simulated network — and since PR 8 the package is two layers with
+// a written contract between them (docs/ARCHITECTURE.md "Fleet control
+// plane"):
 //
-// Concurrency: shards step concurrently, but within a tick each home is
-// touched only by its own shard, in ascending ID order, and each home's
-// control plane settles event-driven inside its step (Router.Settle —
-// no polling; see docs/CONTROL_PLANE.md). Drive Step from one goroutine
-// at a time; AddHome/RemoveHome may race Step and take effect at the
-// next tick's plan rebuild. Reads (Totals, Telemetry, DB) are safe from
-// any goroutine at any time.
+//   - Shard-local engines (internal/fleet/engine): each owns a set of
+//     homes, the worker pool that steps them, per-home vitals and its
+//     own telemetry hub + per-shard folder — no knowledge of global
+//     membership.
+//   - The placement layer (Coordinator, aliased Fleet): owns home→shard
+//     assignment, the spawn/assign/drain/migrate/restart/replace
+//     lifecycle and the shared clock, and drives engines through the
+//     narrow ShardClient contract. It is the single surface
+//     internal/health remediation and cmd/hwfleetd use.
+//
+// On top, a telemetry.Federation folds the N per-shard hubs into one
+// global Folder, so telemetry.Server, hwctl and the soak gate read one
+// coherent fleet — same FleetStats view, same exact delivered+lost
+// accounting invariant — regardless of shard count. Fleet homes default
+// to the in-process control transport (core.TransportInProcess): with
+// controller and datapath co-resident there is no reason to pay
+// loopback-TCP framing per home, and no per-home socket pair to exhaust
+// descriptors at scale.
+//
+// Concurrency: engines step concurrently, but within a tick each home is
+// touched only by its own engine worker, in ascending ID order, and each
+// home's control plane settles event-driven inside its step
+// (Router.Settle — no polling; see docs/CONTROL_PLANE.md). Drive Step
+// from one goroutine at a time; lifecycle calls (AddHome, RemoveHome,
+// Migrate, ...) may race Step and take effect at the next tick's plan
+// rebuild. Reads (Totals, Telemetry, DB) are safe from any goroutine at
+// any time.
 package fleet
 
 import (
-	"errors"
-	"fmt"
-	"math/rand"
-	"runtime"
-	"sort"
-	"sync"
-	"sync/atomic"
-	"time"
-
 	"repro/internal/clock"
 	"repro/internal/core"
-	"repro/internal/hwdb"
-	"repro/internal/netsim"
-	"repro/internal/packet"
-	"repro/internal/telemetry"
-	"repro/internal/trace"
+	"repro/internal/fleet/engine"
 )
 
 // Config parameterizes a fleet.
 type Config struct {
-	// Shards is the worker-pool width; homes are assigned to shards by
-	// ID modulo Shards, so assignment is stable under churn. Default
-	// min(8, GOMAXPROCS).
+	// Shards is the number of shard engines; homes are placed on shards
+	// by ID modulo Shards, so placement is stable under churn. Engines
+	// step concurrently (one worker each by default), so Shards is also
+	// the fleet's stepping concurrency. Default min(8, GOMAXPROCS).
 	Shards int
+	// Workers is each engine's worker-pool width (default 1). Raise it
+	// to step one shard's homes concurrently — useful when a few big
+	// shards dominate the tick — at the cost of inter-home ordering
+	// within the shard being per-worker rather than global.
+	Workers int
 	// Clock, when set, is shared by every home (pass a *clock.Simulated
-	// for deterministic runs; Step advances it by the step interval).
+	// for deterministic runs; Step advances it by the step interval —
+	// the coordinator owns time, engines never advance it).
 	Clock clock.Clock
 	// Seed derives each home's wireless/churn randomness (home i uses
-	// Seed+i), so fleets are reproducible.
+	// Seed+i), so fleets are reproducible and a home's trajectory does
+	// not depend on which shard it lands on.
 	Seed int64
 	// MeasureEvery is how many fleet steps elapse between hwdb
 	// measurement polls in each home (default 1: poll every step).
 	MeasureEvery int
-	// RingSize bounds the fleet-wide stats view's ring (default
-	// DefaultStatsRing).
+	// RingSize bounds the stats view rings — the federated global view
+	// and each engine's per-shard view (default DefaultStatsRing).
 	RingSize int
 	// HomeConfig, when set, mutates each new home's router config after
 	// the fleet defaults (AutoPermit, Seed, Clock) are applied.
 	HomeConfig func(id uint64, cfg *core.Config)
 
 	// onStep observes scheduler activity (tests only): it runs inside
-	// the worker, before the home is stepped.
+	// the engine worker, before the home is stepped, with the home's
+	// shard as the first argument.
 	onStep func(shard int, home uint64, step uint64)
 }
 
-// watchedTables are the per-home hwdb tables every home streams into the
-// telemetry hub (and unwatches on removal — keep the two in lockstep).
-var watchedTables = []string{
-	hwdb.TableFlows, hwdb.TableLinks, hwdb.TableLeases, hwdb.TableFlowPerf,
-}
+// Home is one managed Homework deployment; it lives on exactly one shard
+// engine at a time.
+type Home = engine.Home
 
-// WatchedTables returns (a copy of) the per-home table names the fleet
-// streams into its telemetry hub. External accounting — the chaos soak
-// balances delivered+lost against total inserts across every router
+// ShardStats is one engine's self-reported state (membership, hub
+// accounting, per-shard totals) as surfaced by Coordinator.ShardStats.
+type ShardStats = engine.Stats
+
+// watchedTables mirrors the engine's per-home watch set for the fleet's
+// own accounting tests.
+var watchedTables = engine.WatchedTables()
+
+// WatchedTables returns (a copy of) the per-home table names every
+// engine streams into its telemetry hub. External accounting — the chaos
+// soak balances delivered+lost against total inserts across every router
 // incarnation — iterates exactly this set.
-func WatchedTables() []string { return append([]string(nil), watchedTables...) }
-
-// Home is one managed Homework deployment within a fleet.
-type Home struct {
-	ID     uint64
-	Name   string
-	Router *core.Router
-
-	mu      sync.Mutex
-	rng     *rand.Rand
-	steps   uint64
-	hostSeq uint32
-
-	// cordoned takes the home out of rotation: Step skips it entirely (no
-	// traffic, no settle, no measurement poll) while its router and
-	// telemetry sources stay live and inspectable. Set by the health
-	// remediation loop via Fleet.Cordon.
-	cordoned atomic.Bool
-	// settleErrs counts Settle failures (quiesce deadline or barrier
-	// error) across the home's steps — a health-evaluator vital.
-	settleErrs atomic.Uint64
-}
-
-// Fleet instantiates and drives N independent Homework homes.
-type Fleet struct {
-	cfg    Config
-	pool   *pool
-	hub    *telemetry.Hub
-	folder *telemetry.Folder
-	base   *onDemand // deprecated fold baseline (benchmark comparisons)
-	clk    clock.Clock
-	folds  atomic.Uint64
-
-	mu     sync.Mutex
-	homes  map[uint64]*Home
-	nextID uint64
-	steps  uint64
-	closed bool
-	// plan is the homes-per-shard stepping plan (ascending ID within each
-	// shard), rebuilt only when membership changes instead of sorted and
-	// repartitioned on every tick.
-	plan      [][]*Home
-	planDirty bool
-}
-
-// New creates an empty fleet; add homes with AddHome/AddHomes.
-func New(cfg Config) *Fleet {
-	if cfg.Shards <= 0 {
-		cfg.Shards = runtime.GOMAXPROCS(0)
-		if cfg.Shards > 8 {
-			cfg.Shards = 8
-		}
-	}
-	if cfg.MeasureEvery <= 0 {
-		cfg.MeasureEvery = 1
-	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
-	}
-	clk := cfg.Clock
-	if clk == nil {
-		clk = clock.Real{}
-	}
-	// The hub runs manual: Step flushes it after every barrier, so
-	// delivery is deterministic under a simulated clock and there is no
-	// background goroutine racing the shards.
-	hub := telemetry.NewHub(telemetry.HubConfig{Manual: true})
-	return &Fleet{
-		cfg:    cfg,
-		pool:   newPool(cfg.Shards),
-		hub:    hub,
-		folder: telemetry.NewFolder(hub, telemetry.FolderConfig{Clock: clk, ViewRing: cfg.RingSize}),
-		base:   newOnDemand(),
-		clk:    clk,
-		homes:  make(map[uint64]*Home),
-	}
-}
-
-// Shards returns the worker-pool width.
-func (f *Fleet) Shards() int { return f.cfg.Shards }
-
-// Size returns the number of live homes.
-func (f *Fleet) Size() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return len(f.homes)
-}
-
-// Steps returns how many fleet ticks have run.
-func (f *Fleet) Steps() uint64 {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.steps
-}
-
-// AddHome brings up one more home and returns it. The home's router runs
-// with AutoPermit (fleet homes have no per-home operator) and without the
-// per-home hwdb RPC server — the fleet's aggregated view stands in for it.
-func (f *Fleet) AddHome() (*Home, error) {
-	f.mu.Lock()
-	if f.closed {
-		f.mu.Unlock()
-		return nil, errors.New("fleet: closed")
-	}
-	id := f.nextID
-	f.nextID++
-	f.mu.Unlock()
-	return f.addHome(id)
-}
-
-// AddHomeID brings up a home under a caller-chosen ID — the remediation
-// loop's restart path re-creates a home in place after RemoveHome. The ID
-// must not be live; the auto-allocation sequence skips past it so later
-// AddHome calls cannot collide.
-func (f *Fleet) AddHomeID(id uint64) (*Home, error) {
-	f.mu.Lock()
-	if f.closed {
-		f.mu.Unlock()
-		return nil, errors.New("fleet: closed")
-	}
-	if _, live := f.homes[id]; live {
-		f.mu.Unlock()
-		return nil, fmt.Errorf("fleet: home %d already live", id)
-	}
-	if id >= f.nextID {
-		f.nextID = id + 1
-	}
-	f.mu.Unlock()
-	return f.addHome(id)
-}
-
-// addHome builds, starts and registers the home for an already-reserved
-// ID; the telemetry hub re-watching a previously-used SourceID retires
-// the old source (with a final drain) before the new one attaches, so
-// churn and in-place restarts never leak or double-count watch state.
-func (f *Fleet) addHome(id uint64) (*Home, error) {
-	cfg := core.DefaultConfig()
-	cfg.AutoPermit = true
-	cfg.DisableRPC = true
-	cfg.Seed = f.cfg.Seed + int64(id)
-	if f.cfg.Clock != nil {
-		cfg.Clock = f.cfg.Clock
-	}
-	if f.cfg.HomeConfig != nil {
-		f.cfg.HomeConfig(id, &cfg)
-	}
-	rt, err := core.New(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("fleet: home %d: %w", id, err)
-	}
-	if err := rt.Start(); err != nil {
-		rt.Stop()
-		return nil, fmt.Errorf("fleet: home %d: %w", id, err)
-	}
-	h := &Home{
-		ID:     id,
-		Name:   fmt.Sprintf("home-%d", id),
-		Router: rt,
-		rng:    rand.New(rand.NewSource(f.cfg.Seed + int64(id))),
-	}
-
-	f.mu.Lock()
-	if f.closed {
-		f.mu.Unlock()
-		rt.Stop()
-		return nil, errors.New("fleet: closed")
-	}
-	if _, dup := f.homes[id]; dup {
-		f.mu.Unlock()
-		rt.Stop()
-		return nil, fmt.Errorf("fleet: home %d already live", id)
-	}
-	f.homes[id] = h
-	f.planDirty = true
-	f.mu.Unlock()
-
-	// Feed the home's measurement tables into the telemetry hub: from
-	// here on, every hwdb insert streams into the live fleet view.
-	f.folder.AddHome(id, rt.Net.HostCount)
-	for _, name := range watchedTables {
-		if t, ok := rt.DB.Table(name); ok {
-			f.hub.Watch(telemetry.SourceID{Home: id, Table: name}, t)
-		}
-	}
-	return h, nil
-}
-
-// AddHomes brings up n homes concurrently (bring-up is dominated by each
-// home's controller join handshake, so parallelism matters at fleet
-// scale). Homes that fail to start are reported but do not abort the
-// rest; the successfully started homes are returned in ID order.
-func (f *Fleet) AddHomes(n int) ([]*Home, error) {
-	out := make([]*Home, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, f.cfg.Shards*2)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[i], errs[i] = f.AddHome()
-		}(i)
-	}
-	wg.Wait()
-	homes := make([]*Home, 0, n)
-	for _, h := range out {
-		if h != nil {
-			homes = append(homes, h)
-		}
-	}
-	sort.Slice(homes, func(i, j int) bool { return homes[i].ID < homes[j].ID })
-	return homes, errors.Join(errs...)
-}
-
-// Home returns a live home by ID.
-func (f *Fleet) Home(id uint64) (*Home, bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	h, ok := f.homes[id]
-	return h, ok
-}
-
-// Homes returns the live homes in ascending ID order — the same order
-// each worker shard steps its subset in.
-func (f *Fleet) Homes() []*Home {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.orderedLocked()
-}
-
-func (f *Fleet) orderedLocked() []*Home {
-	out := make([]*Home, 0, len(f.homes))
-	for _, h := range f.homes {
-		out = append(out, h)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
-}
-
-// RemoveHome tears one home down. The router stops first, then the hub
-// drains whatever its tables still held (so the rows land in the fleet
-// cumulative totals before the sources retire), and only then is the
-// home's per-home telemetry state dropped. Its contribution to the fleet
-// totals and its committed view rows remain.
-func (f *Fleet) RemoveHome(id uint64) bool {
-	f.mu.Lock()
-	h, ok := f.homes[id]
-	if ok {
-		delete(f.homes, id)
-		f.planDirty = true
-	}
-	f.mu.Unlock()
-	if !ok {
-		return false
-	}
-	h.Router.Stop()
-	for _, name := range watchedTables {
-		f.hub.Unwatch(telemetry.SourceID{Home: id, Table: name})
-	}
-	f.folder.RemoveHome(id)
-	f.base.forget(id)
-	return true
-}
-
-// Cordon takes a home out of rotation: subsequent Steps skip it (no
-// traffic, no settle, no measurement poll) while its router and telemetry
-// sources stay live, so a sick home stops consuming its shard's step
-// budget but remains inspectable. Returns false if the home is not live.
-func (f *Fleet) Cordon(id uint64) bool {
-	h, ok := f.Home(id)
-	if !ok {
-		return false
-	}
-	h.cordoned.Store(true)
-	return true
-}
-
-// Uncordon returns a cordoned home to rotation. Returns false if the home
-// is not live.
-func (f *Fleet) Uncordon(id uint64) bool {
-	h, ok := f.Home(id)
-	if !ok {
-		return false
-	}
-	h.cordoned.Store(false)
-	return true
-}
-
-// RestartHome tears the home's router down and brings a fresh one up
-// under the same ID — the remediation loop's "turn it off and on again".
-// The old incarnation's telemetry sources are retired with a final drain
-// (their rows stay accounted) and the new incarnation re-watches the same
-// SourceIDs; the new home comes back uncordoned with zeroed vitals.
-func (f *Fleet) RestartHome(id uint64) (*Home, error) {
-	if !f.RemoveHome(id) {
-		return nil, fmt.Errorf("fleet: no home %d", id)
-	}
-	return f.AddHomeID(id)
-}
-
-// ReplaceHome retires the home entirely and brings up a brand-new one
-// under a fresh ID — the remediation loop's escalation when restarting in
-// place did not cure the home. The caller learns the successor from the
-// returned Home.
-func (f *Fleet) ReplaceHome(id uint64) (*Home, error) {
-	if !f.RemoveHome(id) {
-		return nil, fmt.Errorf("fleet: no home %d", id)
-	}
-	return f.AddHome()
-}
-
-// Step advances the whole fleet by dt simulated seconds: every home's
-// traffic applications emit, its control path drains (Router.Settle —
-// an event-driven wait on the punt/processed epoch, not a poll; see
-// docs/CONTROL_PLANE.md), and (every MeasureEvery-th step) its
-// measurement plane polls flow and link state into its hwdb. Homes are partitioned across the worker shards by ID
-// modulo Shards and each shard steps its homes in ascending ID order, so
-// the per-home step sequence is deterministic regardless of scheduling.
-// If the fleet shares a simulated clock, it is advanced by dt after the
-// barrier.
-func (f *Fleet) Step(dt float64) error {
-	f.mu.Lock()
-	if f.closed {
-		f.mu.Unlock()
-		return errors.New("fleet: closed")
-	}
-	f.steps++
-	step := f.steps
-	if f.plan == nil || f.planDirty {
-		f.plan = make([][]*Home, f.cfg.Shards)
-		for _, h := range f.orderedLocked() {
-			s := shardOf(h.ID, f.cfg.Shards)
-			f.plan[s] = append(f.plan[s], h)
-		}
-		f.planDirty = false
-	}
-	byShard := f.plan
-	f.mu.Unlock()
-
-	errs := make([]error, f.cfg.Shards)
-	var wg sync.WaitGroup
-	for si, hs := range byShard {
-		if len(hs) == 0 {
-			continue
-		}
-		si, hs := si, hs
-		wg.Add(1)
-		f.pool.submit(si, func() {
-			defer wg.Done()
-			for _, h := range hs {
-				if h.cordoned.Load() {
-					continue
-				}
-				if f.cfg.onStep != nil {
-					f.cfg.onStep(si, h.ID, step)
-				}
-				if err := h.step(dt, f.cfg.MeasureEvery); err != nil && errs[si] == nil {
-					errs[si] = fmt.Errorf("fleet: home %d: %w", h.ID, err)
-				}
-			}
-		})
-	}
-	wg.Wait()
-
-	if sim, ok := f.cfg.Clock.(*clock.Simulated); ok {
-		sim.Advance(time.Duration(dt * float64(time.Second)))
-	}
-	// Stream this step's measurement rows into the live fleet view: a
-	// read of Totals()/Rates()/DB() immediately after Step reflects the
-	// rows this step inserted, without any fold pass.
-	f.Sync()
-	return errors.Join(errs...)
-}
-
-// Sync flushes the telemetry hub (delivering every row whose insert
-// completed) and commits one FleetStats view row per active home. Step
-// calls it after every barrier; call it directly after out-of-band
-// inserts (e.g. a manual PollMeasure) before reading the view.
-func (f *Fleet) Sync() {
-	f.hub.Flush()
-	f.folder.Commit()
-}
-
-// Aggregate snapshots the fleet-wide delta since the previous Aggregate
-// call. Unlike the PR-1 fold it does not scan any home's rings: the
-// telemetry folder maintained the running deltas as rows streamed in, so
-// this is a Sync plus a per-home counter swap.
-func (f *Fleet) Aggregate() FleetSnapshot {
-	f.Sync()
-	folds := f.folds.Add(1)
-	ps := f.folder.TakePeriod()
-	return snapshotFromPeriod(f.clk.Now(), ps, folds)
-}
-
-// FoldOnDemand runs the PR-1 on-demand fold pass over every home's rings
-// with its own cursors and returns what it read since its last call.
-//
-// Deprecated: the live telemetry path (Aggregate/Totals/DB) replaces it;
-// it is kept as the measured baseline for BenchmarkFleetTelemetry and
-// BenchmarkFleetAggregate. It does not touch the FleetStats view.
-func (f *Fleet) FoldOnDemand() FleetSnapshot {
-	return f.base.fold(f.Homes(), f.clk.Now())
-}
-
-// DB returns the fleet-wide hwdb holding the continuously-maintained
-// FleetStats view; query it with the same CQL the per-home interfaces
-// use, e.g.
-//
-//	SELECT home, sum(bytes) FROM FleetStats GROUP BY home
-func (f *Fleet) DB() *hwdb.DB { return f.folder.View() }
-
-// Totals returns the cumulative fleet-wide counters. They are maintained
-// live by the telemetry folder; the read is O(1) — no ring is scanned and
-// no home is visited. Hosts is as of the latest Sync/Step commit.
-func (f *Fleet) Totals() FleetTotals { return f.totals() }
-
-func (f *Fleet) totals() FleetTotals {
-	t := f.folder.Totals()
-	return FleetTotals{
-		Folds:   f.folds.Load(),
-		Homes:   t.Homes,
-		Hosts:   t.Hosts,
-		Flows:   t.Flows,
-		Packets: t.Packets,
-		Bytes:   t.Bytes,
-		Links:   t.Links,
-		Lost:    t.Lost,
-	}
-}
-
-// Telemetry exposes the live folder: windowed per-home and per-device
-// rates, per-home cumulative totals, and the view database. The
-// telemetry.Server streaming endpoint is built over it.
-func (f *Fleet) Telemetry() *telemetry.Folder { return f.folder }
-
-// TraceStats merges every live home's punt-lifecycle trace histograms
-// into one fleet-wide per-stage latency summary (p50/p99/max/mean per
-// contract transition). Homes built with core.Config.DisableTrace
-// contribute nothing. Safe to call from any goroutine, concurrently with
-// Step: snapshots read the tracers' atomics, never their locks.
-func (f *Fleet) TraceStats() []trace.StageStats {
-	var merged trace.Snapshot
-	for _, h := range f.Homes() {
-		if t := h.Router.Tracer; t != nil {
-			merged.Merge(t.Snapshot())
-		}
-	}
-	return merged.Stats()
-}
-
-// Hub exposes the fleet's subscription hub, e.g. to attach additional
-// delta subscribers or read delivery/loss accounting.
-func (f *Fleet) Hub() *telemetry.Hub { return f.hub }
-
-// Stop tears every home down, closes the telemetry hub and releases the
-// worker pool.
-func (f *Fleet) Stop() {
-	f.mu.Lock()
-	if f.closed {
-		f.mu.Unlock()
-		return
-	}
-	f.closed = true
-	homes := f.orderedLocked()
-	f.homes = make(map[uint64]*Home)
-	f.plan, f.planDirty = nil, true
-	f.mu.Unlock()
-
-	var wg sync.WaitGroup
-	for _, h := range homes {
-		wg.Add(1)
-		go func(h *Home) {
-			defer wg.Done()
-			h.Router.Stop()
-		}(h)
-	}
-	wg.Wait()
-	f.hub.Close()
-	f.pool.close()
-}
-
-// ---------------------------------------------------------------- homes
-
-// step advances one home by dt simulated seconds: traffic in, then a
-// blocking event-driven wait for the home's control path to drain (no
-// sleeps — Settle returns the moment the controller catches up and a
-// clean barrier crosses), then the optional measurement poll.
-func (h *Home) step(dt float64, measureEvery int) error {
-	h.mu.Lock()
-	h.steps++
-	poll := measureEvery > 0 && h.steps%uint64(measureEvery) == 0
-	h.mu.Unlock()
-
-	h.Router.Net.Step(dt)
-	if err := h.Router.Settle(); err != nil {
-		h.settleErrs.Add(1)
-		return err
-	}
-	if poll {
-		h.Router.PollMeasure()
-	}
-	return nil
-}
-
-// Cordoned reports whether the home is currently out of rotation.
-func (h *Home) Cordoned() bool { return h.cordoned.Load() }
-
-// SettleErrs returns how many of the home's steps failed to settle (the
-// control path missed its quiescence deadline or a barrier failed) over
-// this router incarnation — a health-evaluator vital.
-func (h *Home) SettleErrs() uint64 { return h.settleErrs.Load() }
-
-// PuntLag returns the home's current punt-credit backlog: packet-ins the
-// datapath has punted that the controller has not yet dispatched. A
-// healthy idle home reads 0; a wedged controller grows it without bound.
-func (h *Home) PuntLag() uint64 {
-	punted, processed := h.Router.Datapath.Quiesce().Counts()
-	if processed > punted {
-		return 0
-	}
-	return punted - processed
-}
-
-// Steps returns how many fleet ticks have stepped this home.
-func (h *Home) Steps() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.steps
-}
-
-// Rand returns the home's deterministic randomness source (churn and
-// workload decisions draw from it so runs replay from the fleet seed).
-// Not safe for concurrent use across goroutines; the scenario runner
-// only touches it from the home's own shard.
-func (h *Home) Rand() *rand.Rand { return h.rng }
-
-// NextMAC allocates a fleet-unique MAC for the home's next host:
-// 02:HH:HH:HH:SS:SS from the home ID and a per-home sequence number.
-func (h *Home) NextMAC() packet.MAC {
-	h.mu.Lock()
-	h.hostSeq++
-	seq := h.hostSeq
-	h.mu.Unlock()
-	return packet.MAC{
-		0x02, byte(h.ID >> 16), byte(h.ID >> 8), byte(h.ID),
-		byte(seq >> 8), byte(seq),
-	}
-}
-
-// Join adds a host to the home's network and runs it through DHCP.
-func (h *Home) Join(name string, wireless bool, pos netsim.Pos) (*netsim.Host, error) {
-	mac := h.NextMAC()
-	if name == "" {
-		name = fmt.Sprintf("%s-dev-%s", h.Name, mac)
-	}
-	host, err := h.Router.Net.AddHost(name, mac, wireless, pos)
-	if err != nil {
-		return nil, err
-	}
-	if err := h.Router.JoinHost(host); err != nil {
-		return nil, err
-	}
-	if !host.Bound() {
-		return nil, fmt.Errorf("fleet: %s: host %s did not bind", h.Name, mac)
-	}
-	return host, nil
-}
-
-// Leave releases a host's lease and detaches it from the home network.
-func (h *Home) Leave(host *netsim.Host) error {
-	host.Release()
-	if err := h.Router.Settle(); err != nil {
-		return err
-	}
-	return h.Router.Net.RemoveHost(host.MAC)
-}
+func WatchedTables() []string { return engine.WatchedTables() }

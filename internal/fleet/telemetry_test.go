@@ -1,7 +1,6 @@
 package fleet
 
 import (
-	"fmt"
 	"testing"
 
 	"repro/internal/netsim"
@@ -130,38 +129,5 @@ func TestLiveRatesAfterSteps(t *testing.T) {
 	}
 	if r := tel.HomeRate(1); r.BytesPerSec != 0 {
 		t.Fatalf("idle home 1 rate = %+v", r)
-	}
-}
-
-// TestFoldOnDemandMatchesLive cross-checks the deprecated baseline
-// against the live path: both must reduce the same rows to the same
-// per-home deltas when run over the same interval.
-func TestFoldOnDemandMatchesLive(t *testing.T) {
-	f := newTestFleet(t, 2, 2, nil)
-	h, _ := f.Home(0)
-	registerZones(h)
-	host, err := h.Join("", true, netsim.Pos{X: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	host.AddApp(netsim.NewApp(netsim.AppWeb, zoneFor("web"), 80_000))
-	for i := 0; i < 8; i++ {
-		if err := f.Step(0.25); err != nil {
-			t.Fatal(err)
-		}
-	}
-	live := f.Aggregate()
-	base := f.FoldOnDemand()
-	if len(live.Homes) != len(base.Homes) {
-		t.Fatalf("home counts differ: %d vs %d", len(live.Homes), len(base.Homes))
-	}
-	for i := range live.Homes {
-		l, b := live.Homes[i], base.Homes[i]
-		if fmt.Sprintf("%+v", l) != fmt.Sprintf("%+v", b) {
-			t.Fatalf("home %d diverges:\nlive %+v\nfold %+v", l.Home, l, b)
-		}
-	}
-	if live.Flows != base.Flows || live.Bytes != base.Bytes || live.Links != base.Links {
-		t.Fatalf("fleet deltas diverge: live %+v vs fold %+v", live.FleetTotals, base.FleetTotals)
 	}
 }

@@ -18,6 +18,14 @@ const (
 	TableRemedy = "Remedy"
 )
 
+// DeltaSource is the telemetry feed the monitor subscribes to: a single
+// shard's *telemetry.Hub or the fleet coordinator's *telemetry.Federation
+// (which registers the handler on every shard hub) — anything that can
+// attach a synchronous delta handler.
+type DeltaSource interface {
+	SubscribeFunc(func(telemetry.Delta))
+}
+
 // Config parameterizes a Monitor.
 type Config struct {
 	// Policy thresholds; zero-valued fields take DefaultPolicy values.
@@ -27,7 +35,8 @@ type Config struct {
 	Clock clock.Clock
 	// Hub, when set, feeds the loss evaluator: the monitor subscribes
 	// synchronously and folds FlowPerf deltas into per-home windows.
-	Hub *telemetry.Hub
+	// Home IDs must be unique across the source (fleet-wide IDs are).
+	Hub DeltaSource
 	// Vitals reads a home's control-plane signals; ok=false skips the
 	// home this window (e.g. mid-replacement).
 	Vitals func(id uint64) (Vitals, bool)

@@ -161,7 +161,9 @@ func (p *periodAcc) device(mac int64) {
 }
 
 // NewFolder builds a folder over hub and registers it as a synchronous
-// consumer. The folder owns the FleetStats view database.
+// consumer. The folder owns the FleetStats view database. A nil hub
+// builds a detached folder — a Federation attaches it to every shard hub
+// instead, so one folder can fold N hubs into one global view.
 func NewFolder(hub *Hub, cfg FolderConfig) *Folder {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real{}
@@ -213,7 +215,9 @@ func NewFolder(hub *Hub, cfg FolderConfig) *Folder {
 	f.pTx, _ = pt.Schema().Index("tx_pkts")
 	f.pLost, _ = pt.Schema().Index("lost_pkts")
 	f.pInstallUS, _ = pt.Schema().Index("install_us")
-	hub.SubscribeFunc(f.consume)
+	if hub != nil {
+		hub.SubscribeFunc(f.consume)
+	}
 	return f
 }
 
@@ -222,20 +226,22 @@ func NewFolder(hub *Hub, cfg FolderConfig) *Folder {
 func (f *Folder) View() *hwdb.DB { return f.view }
 
 // AddHome starts tracking a home. hosts (may be nil) reports the home's
-// current host count when snapshots are taken.
+// current host count when snapshots are taken. If deltas for the home
+// already arrived (consume tracks unknown homes implicitly so accounting
+// stays exact under churn), the existing accumulator is kept and only
+// gains the hosts callback.
 func (f *Folder) AddHome(id uint64, hosts func() int) {
 	f.mu.Lock()
-	if _, ok := f.homes[id]; !ok {
-		h := &homeAcc{
-			id:    id,
-			hosts: hosts,
-			rate:  newRateRing(f.window, f.buckets),
-		}
-		if hosts != nil {
-			h.hostsNow = hosts()
-		}
-		f.hostsTotal += h.hostsNow
+	h, ok := f.homes[id]
+	if !ok {
+		h = &homeAcc{id: id, rate: newRateRing(f.window, f.buckets)}
 		f.homes[id] = h
+	}
+	if hosts != nil && h.hosts == nil {
+		h.hosts = hosts
+		f.hostsTotal -= h.hostsNow
+		h.hostsNow = hosts()
+		f.hostsTotal += h.hostsNow
 	}
 	f.mu.Unlock()
 }

@@ -195,13 +195,20 @@ func (h *Hub) Subscribe(buf int) *Subscription {
 	if buf <= 0 {
 		buf = 64
 	}
-	sub := &Subscription{hub: h, ch: make(chan Delta, buf)}
+	sub := &Subscription{hubs: []*Hub{h}, ch: make(chan Delta, buf)}
+	h.addSub(sub)
+	return sub
+}
+
+// addSub attaches an existing subscription to this hub's fan-out — the
+// seam a Federation uses to span one subscription (one channel, one loss
+// book) across several shard hubs.
+func (h *Hub) addSub(sub *Subscription) {
 	h.mu.Lock()
 	if !h.closed {
 		h.subs = append(h.subs, sub)
 	}
 	h.mu.Unlock()
-	return sub
 }
 
 // SubscribeFunc registers a synchronous handler called inside the drain
@@ -333,10 +340,12 @@ func (h *Hub) drainSource(s *source, force bool) {
 	}
 }
 
-// Subscription is one channel consumer of a hub.
+// Subscription is one channel consumer of one hub or (through a
+// Federation) several: the channel, the loss accounting and the drop
+// books are shared across every hub the subscription is attached to.
 type Subscription struct {
-	hub *Hub
-	ch  chan Delta
+	hubs []*Hub
+	ch   chan Delta
 
 	pendingLost atomic.Uint64 // loss not yet reported in-band
 	dropped     atomic.Uint64 // rows dropped at this subscriber's buffer
@@ -359,21 +368,23 @@ func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
 // rows fanned out to this subscriber plus their ring-wrap losses.
 func (s *Subscription) PendingLost() uint64 { return s.pendingLost.Load() }
 
-// Close detaches the subscription from the hub; no further deltas are
-// delivered. The channel is left open (draining buffered deltas is fine).
+// Close detaches the subscription from every hub it is attached to; no
+// further deltas are delivered. The channel is left open (draining
+// buffered deltas is fine).
 func (s *Subscription) Close() {
 	if s.closed.Swap(true) {
 		return
 	}
-	h := s.hub
-	h.mu.Lock()
-	for i, sub := range h.subs {
-		if sub == s {
-			h.subs = append(append([]*Subscription(nil), h.subs[:i]...), h.subs[i+1:]...)
-			break
+	for _, h := range s.hubs {
+		h.mu.Lock()
+		for i, sub := range h.subs {
+			if sub == s {
+				h.subs = append(append([]*Subscription(nil), h.subs[:i]...), h.subs[i+1:]...)
+				break
+			}
 		}
+		h.mu.Unlock()
 	}
-	h.mu.Unlock()
 }
 
 // deliver hands one delta to the subscriber without ever blocking the
