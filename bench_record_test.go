@@ -7,15 +7,16 @@ import (
 	"testing"
 )
 
-// TestBenchRecordParses gates the committed perf trajectory: BENCH_8.json
+// TestBenchRecordParses gates the committed perf trajectory: BENCH_9.json
 // (written by `make bench` via cmd/benchjson) must parse and carry real
 // measurements for the headline benchmarks — fleet step scaling, settle
-// latency, live telemetry — plus the traced/untraced overhead pair, so a
-// PR cannot silently ship a stale or hand-edited record.
+// latency, live telemetry — plus the traced/untraced and flight-recorder
+// attached/detached overhead pairs, so a PR cannot silently ship a stale
+// or hand-edited record.
 func TestBenchRecordParses(t *testing.T) {
-	data, err := os.ReadFile("BENCH_8.json")
+	data, err := os.ReadFile("BENCH_9.json")
 	if err != nil {
-		t.Fatalf("BENCH_8.json missing (run `make bench`): %v", err)
+		t.Fatalf("BENCH_9.json missing (run `make bench`): %v", err)
 	}
 	var doc struct {
 		Benchmarks []struct {
@@ -25,13 +26,14 @@ func TestBenchRecordParses(t *testing.T) {
 		} `json:"benchmarks"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
-		t.Fatalf("BENCH_8.json does not parse: %v", err)
+		t.Fatalf("BENCH_9.json does not parse: %v", err)
 	}
 	headlines := []string{
 		"BenchmarkFleetStep",
 		"BenchmarkSettleLatency",
 		"BenchmarkFleetTelemetry",
 		"BenchmarkTraceOverhead",
+		"BenchmarkFlightOverhead",
 	}
 	for _, headline := range headlines {
 		found := 0
@@ -49,21 +51,28 @@ func TestBenchRecordParses(t *testing.T) {
 			found++
 		}
 		if found == 0 {
-			t.Errorf("BENCH_8.json has no %s results", headline)
+			t.Errorf("BENCH_9.json has no %s results", headline)
 		}
 	}
 
-	// The overhead pair must both be present so the ≤5% tracing budget is
-	// checkable from the committed record alone.
-	for _, mode := range []string{"traced", "untraced"} {
-		found := false
-		for _, b := range doc.Benchmarks {
-			if strings.Contains(b.Name, "BenchmarkTraceOverhead/"+mode) {
-				found = b.Metrics["home-steps/s"] > 0
+	// The overhead pairs must both be present so the ≤5% tracing and
+	// flight-recorder budgets are checkable from the committed record
+	// alone.
+	pairs := map[string][]string{
+		"BenchmarkTraceOverhead":  {"traced", "untraced"},
+		"BenchmarkFlightOverhead": {"attached", "detached"},
+	}
+	for bench, modes := range pairs {
+		for _, mode := range modes {
+			found := false
+			for _, b := range doc.Benchmarks {
+				if strings.Contains(b.Name, bench+"/"+mode) {
+					found = b.Metrics["home-steps/s"] > 0
+				}
 			}
-		}
-		if !found {
-			t.Errorf("BENCH_8.json lacks a home-steps/s figure for BenchmarkTraceOverhead/%s", mode)
+			if !found {
+				t.Errorf("BENCH_9.json lacks a home-steps/s figure for %s/%s", bench, mode)
+			}
 		}
 	}
 }

@@ -16,12 +16,14 @@ import (
 	"repro/internal/datapath"
 	"repro/internal/figures"
 	"repro/internal/fleet"
+	"repro/internal/flight"
 	"repro/internal/hwdb"
 	"repro/internal/netsim"
 	"repro/internal/nox"
 	"repro/internal/oftransport"
 	"repro/internal/openflow"
 	"repro/internal/packet"
+	"repro/internal/telemetry"
 )
 
 // ---------------------------------------------------------------- figures
@@ -550,7 +552,32 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkFlightOverhead prices the flight recorder: the identical
+// 64-home in-process FleetStep workload with the recorder attached to the
+// federated hub + FleetStats view (the hwfleetd default) and detached.
+// The insert hot path is untouched either way (the recorder consumes
+// Deltas on the hub's drain pass), so the attached cost is the per-tick
+// append of drained rows into retention windows plus compaction; the
+// acceptance bar is a ≤5% gap in home-steps/s.
+func BenchmarkFlightOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		attach bool
+	}{
+		{"attached", true},
+		{"detached", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			benchFleetStepFlight(b, 64, 0, core.TransportInProcess, false, mode.attach)
+		})
+	}
+}
+
 func benchFleetStepCfg(b *testing.B, homes, shards int, kind core.TransportKind, disableTrace bool) {
+	benchFleetStepFlight(b, homes, shards, kind, disableTrace, false)
+}
+
+func benchFleetStepFlight(b *testing.B, homes, shards int, kind core.TransportKind, disableTrace, recorder bool) {
 	f := fleet.New(fleet.Config{
 		Clock: clock.NewSimulated(), Seed: 5, Shards: shards,
 		HomeConfig: func(id uint64, cfg *core.Config) {
@@ -559,6 +586,16 @@ func benchFleetStepCfg(b *testing.B, homes, shards int, kind core.TransportKind,
 		},
 	})
 	b.Cleanup(f.Stop)
+	var rec *flight.Recorder
+	if recorder {
+		// A short retention keeps compaction in the measured loop: the
+		// recorder is priced doing its full job, not just appending.
+		rec = flight.NewRecorder(flight.RecorderConfig{
+			Window: time.Second, Retention: 5 * time.Second,
+		})
+		rec.Attach(f.Hub())
+		rec.AttachView(f.DB(), telemetry.ViewTable)
+	}
 	if _, err := f.AddHomes(homes); err != nil {
 		b.Fatal(err)
 	}
@@ -599,6 +636,13 @@ func benchFleetStepCfg(b *testing.B, homes, shards int, kind core.TransportKind,
 	b.ReportMetric(float64(homes)*float64(b.N)/b.Elapsed().Seconds(), "home-steps/s")
 	if f.Aggregate(); f.Totals().Flows == 0 {
 		b.Fatal("fleet stepped but no flows were folded")
+	}
+	if rec != nil {
+		st := rec.Stats()
+		if st.Delivered+st.ViewRows != st.Stored+st.Compacted {
+			b.Fatalf("recorder books off: %+v", st)
+		}
+		b.ReportMetric(float64(st.Stored+st.Compacted)/float64(b.N), "recorded-rows/op")
 	}
 }
 

@@ -5,7 +5,7 @@
 // scenario-matrix run through it to produce the committed BENCH_<n>.json
 // perf-trajectory records that CI gates on.
 //
-//	go test -run '^$' -bench . . | benchjson > BENCH_8.json
+//	go test -run '^$' -bench . . | benchjson > BENCH_9.json
 package main
 
 import (

@@ -12,11 +12,17 @@
 //	hwctl -api ... remove-key parent-key
 //	hwctl -api ... access 02:aa:00:00:00:01
 //	hwctl -api ... trace
+//	hwctl -api ... replay FlowPerf 1699999000000000000 1699999900000000000
 //
 // trace prints the router's punt-lifecycle latency summary: one row per
 // control-plane stage transition (punt->dispatch, dispatch->emit, ...)
 // with count, p50/p99/max/mean — the always-on tracing described in
 // docs/CONTROL_PLANE.md.
+//
+// replay scrubs a table's retained history between two instants (unix
+// nanoseconds, both optional, zero/omitted bounds open) and prints the
+// rows as tab-separated text — the flight-recorder time travel described
+// in docs/ARCHITECTURE.md "Flight recorder & time travel".
 package main
 
 import (
@@ -48,6 +54,20 @@ func main() {
 		err = get(base + "/api/status")
 	case "trace":
 		err = get(base + "/api/trace")
+	case "replay":
+		need(args, 2)
+		url := base + "/api/replay/" + args[1]
+		var q []string
+		if len(args) >= 3 && args[2] != "" {
+			q = append(q, "from="+strings.TrimPrefix(args[2], "@"))
+		}
+		if len(args) >= 4 && args[3] != "" {
+			q = append(q, "to="+strings.TrimPrefix(args[3], "@"))
+		}
+		if len(q) > 0 {
+			url += "?" + strings.Join(q, "&")
+		}
+		err = get(url)
 	case "permit", "deny":
 		need(args, 2)
 		err = post(base+"/api/devices/"+args[1]+"/"+args[0], nil)
@@ -91,6 +111,7 @@ func need(args []string, n int) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: hwctl [-api URL] <command> [args]
 commands: status devices permit deny annotate access trace
+          replay <table> [from-nanos] [to-nanos]
           policies install-policy remove-policy insert-key remove-key`)
 	os.Exit(2)
 }

@@ -1,8 +1,13 @@
 // Command hwdbc is a CQL client for the Homework Database's UDP RPC.
 //
 //	hwdbc -addr 127.0.0.1:7654 'SELECT * FROM Flows [ROWS 10]'
+//	hwdbc -addr 127.0.0.1:7654 'SELECT * FROM FleetStats AS OF @1699999000000000000'
+//	hwdbc -addr 127.0.0.1:7654 'SELECT home, flows FROM FleetStats HISTORY @1699999000000000000 @1699999900000000000'
 //	hwdbc -addr 127.0.0.1:7654 -subscribe 'SUBSCRIBE SELECT mac, rssi FROM Links [NOW] EVERY 1 SECONDS'
 //
+// AS OF / HISTORY are time travel: against a server whose database has a
+// flight recorder attached (hwfleetd's telemetry endpoint) they read the
+// recorder's retained windows; otherwise they fall back to the live ring.
 // With -subscribe the client prints every push until interrupted.
 package main
 

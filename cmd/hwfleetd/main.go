@@ -22,13 +22,24 @@
 // With -debug-addr (off by default), an HTTP debug endpoint serves
 // net/http/pprof profiles under /debug/pprof/ and expvar counters under
 // /debug/vars, with the live fleet trace summary published as the
-// "trace" expvar.
+// "trace" expvar, the hub/federation loss books and folder totals as
+// "telemetry", and the flight recorder's retention books as "flight".
+//
+// A flight recorder (internal/flight) rides along by default: it retains
+// -retention worth of every home's telemetry in -flight-window buckets,
+// serves AS OF / HISTORY time travel through the telemetry endpoint's
+// EXEC verb and scrubbing through its REPLAY verb, and its books are
+// reconciled in the final report (delivered + view rows == stored +
+// compacted, and delivered == the federation's delivered). -retention 0
+// disables it.
 //
 // With -chaos, the process instead runs the time-compressed chaos soak
 // (internal/chaos): scheduled fault episodes over a simulated-clock
 // fleet with the health/remediation loop live, exiting non-zero if any
 // soak invariant is violated. -homes, -hosts, -shards and -seed carry
-// over; -chaos-days sets the simulated fault window.
+// over; -chaos-days sets the simulated fault window. With -incident-dir,
+// every Sick/Cordoned verdict and remediation action dumps a JSON
+// incident bundle there (trace spans, recent rows, placement history).
 package main
 
 import (
@@ -43,6 +54,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/fleet"
+	"repro/internal/flight"
 	"repro/internal/telemetry"
 )
 
@@ -65,6 +77,9 @@ func runChaosSoak(cfg chaos.SoakConfig, quiet bool) {
 			res.Counts.Restarts, res.Counts.Replaces, res.Counts.Failures)
 		fmt.Printf("telemetry   %d delivered + %d lost = %d inserts\n",
 			res.HubDelivered, res.HubLost, res.Inserts)
+		fmt.Printf("flight      %d streams in %d windows: %d stored + %d compacted; %d incident bundles\n",
+			res.Recorder.Streams, res.Recorder.Windows, res.Recorder.Stored,
+			res.Recorder.Compacted, res.Bundles)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -86,6 +101,9 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress progress lines")
 	chaosRun := flag.Bool("chaos", false, "run the time-compressed chaos soak instead of the scenario")
 	chaosDays := flag.Float64("chaos-days", 0, "chaos: simulated days of scheduled faults (default 2)")
+	retention := flag.Duration("retention", flight.DefaultRetention, "flight recorder retention (0 disables the recorder)")
+	flightWindow := flag.Duration("flight-window", flight.DefaultWindow, "flight recorder time-bucket width")
+	incidentDir := flag.String("incident-dir", "", "chaos: dump JSON incident bundles into this directory")
 	flag.Parse()
 
 	if *chaosRun {
@@ -95,6 +113,7 @@ func main() {
 			Shards:       *shards,
 			Seed:         *seed,
 			SimDays:      *chaosDays,
+			IncidentDir:  *incidentDir,
 		}, *quiet)
 		return
 	}
@@ -136,17 +155,44 @@ func main() {
 		runner.Logf = log.Printf
 	}
 	var statsSrv *telemetry.Server
+	var rec *flight.Recorder
 	runner.OnFleet = func(f *fleet.Fleet) {
+		// OnFleet runs after the homes exist but before the first Sync,
+		// so the recorder sees every delta from row zero and its books
+		// reconcile exactly against the federation's delivered count.
+		if *retention != 0 {
+			rec = flight.NewRecorder(flight.RecorderConfig{
+				Window:    *flightWindow,
+				Retention: *retention,
+			})
+			rec.Attach(f.Hub())
+			if err := rec.AttachView(f.DB(), telemetry.ViewTable); err != nil {
+				log.Fatal(err)
+			}
+		}
 		if *stats != "" {
 			statsSrv = telemetry.NewServer(f.Telemetry())
 			statsSrv.SetTraceSource(f.TraceStats)
+			if rec != nil {
+				statsSrv.SetReplaySource(rec.Replay)
+			}
 			if err := statsSrv.Serve(*stats); err != nil {
 				log.Fatal(err)
 			}
-			log.Printf("telemetry endpoint on udp://%s (EXEC | STATS | TRACE | SUBSCRIBE FLEET EVERY ...)", statsSrv.Addr())
+			log.Printf("telemetry endpoint on udp://%s (EXEC | STATS | TRACE | REPLAY | SUBSCRIBE FLEET EVERY ...)", statsSrv.Addr())
 		}
 		if *debugAddr != "" {
 			expvar.Publish("trace", expvar.Func(func() any { return f.TraceStats() }))
+			expvar.Publish("telemetry", expvar.Func(func() any {
+				return map[string]any{
+					"federation": f.Hub().Stats(),
+					"totals":     f.Telemetry().Totals(),
+					"shards":     f.ShardStats(),
+				}
+			}))
+			if rec != nil {
+				expvar.Publish("flight", expvar.Func(func() any { return rec.Stats() }))
+			}
 			go func() {
 				// DefaultServeMux carries the pprof and expvar handlers.
 				log.Printf("debug endpoint on http://%s/debug/pprof/ and /debug/vars", *debugAddr)
@@ -194,6 +240,22 @@ func main() {
 			sumHomes, fl.Size(), sumDelivered, fedStats.Delivered,
 			sumLost, fedStats.Lost, sumRows, fl.Telemetry().Totals().Rows)
 		os.Exit(1)
+	}
+	// Flight recorder books, reconciled the same way: every row the
+	// federation delivered (plus every view commit) must be stored in a
+	// retention window or accounted as compacted — nothing vanishes.
+	if rec != nil {
+		fs := rec.Stats()
+		fmt.Printf("flight    %d streams in %d windows: %d delivered + %d view rows = %d stored + %d compacted (%d lost)\n",
+			fs.Streams, fs.Windows, fs.Delivered, fs.ViewRows, fs.Stored, fs.Compacted, fs.Lost)
+		if fs.Delivered+fs.ViewRows != fs.Stored+fs.Compacted ||
+			fs.Delivered != fedStats.Delivered || fs.Lost != fedStats.Lost {
+			fmt.Fprintf(os.Stderr,
+				"error: flight recorder books disagree with the federation: delivered %d/%d, lost %d/%d, stored+compacted %d/%d\n",
+				fs.Delivered, fedStats.Delivered, fs.Lost, fedStats.Lost,
+				fs.Stored+fs.Compacted, fs.Delivered+fs.ViewRows)
+			os.Exit(1)
+		}
 	}
 	if tot := runner.Fleet().Telemetry().Totals(); tot.PerfRows > 0 {
 		lossPct := 100 * float64(tot.LostPkts) / float64(tot.TxPkts)

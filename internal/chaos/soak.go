@@ -8,10 +8,12 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/flight"
 	"repro/internal/health"
 	"repro/internal/hwdb"
 	"repro/internal/netsim"
 	"repro/internal/quiesce"
+	"repro/internal/telemetry"
 )
 
 // SoakConfig parameterizes a time-compressed chaos soak: days of
@@ -50,6 +52,10 @@ type SoakConfig struct {
 	// RecoverySteps bounds the post-schedule drain: extra ticks granted
 	// for the last episodes' remediation to converge (default 80).
 	RecoverySteps int
+	// IncidentDir, when set, receives one JSON incident bundle per
+	// Sick/Cordoned verdict and per remediation action (see
+	// flight.Incidents); empty keeps bundles in-memory only.
+	IncidentDir string
 	// Logf, when set, receives progress lines (e.g. testing.T.Logf).
 	Logf func(format string, args ...any)
 }
@@ -99,6 +105,9 @@ type SoakResult struct {
 	HubDelivered uint64 // telemetry rows fanned out
 	HubLost      uint64 // telemetry rows lost to ring wrap (accounted)
 	Inserts      uint64 // hwdb inserts across every router incarnation
+
+	Bundles  int                  // incident bundles recorded
+	Recorder flight.RecorderStats // flight recorder retention books
 }
 
 // Soak runs the time-compressed chaos soak: bring up a fleet on a
@@ -137,6 +146,29 @@ func Soak(cfg SoakConfig) (*SoakResult, error) {
 	defer fl.Stop()
 	eng.Bind(fl)
 
+	// Flight recorder: attached before the first drain so its books start
+	// from row zero; every chaos episode leaves a replayable record and
+	// (via the incident hooks below) a postmortem bundle.
+	stepDur := time.Duration(cfg.StepSec * float64(time.Second))
+	rec := flight.NewRecorder(flight.RecorderConfig{
+		Window:    stepDur,
+		Retention: 50 * stepDur,
+	})
+	rec.Attach(fl.Hub())
+	if err := rec.AttachView(fl.DB(), telemetry.ViewTable); err != nil {
+		return nil, fmt.Errorf("chaos: flight recorder (seed %d): %w", cfg.Seed, err)
+	}
+	inc, err := flight.NewIncidents(flight.IncidentConfig{
+		Clock:     sim,
+		Recorder:  rec,
+		Trace:     fl.TraceStats,
+		Placement: fl.PlacementFor,
+		Dir:       cfg.IncidentDir,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: incident recorder (seed %d): %w", cfg.Seed, err)
+	}
+
 	homes, err := fl.AddHomes(cfg.Homes)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: bring-up (seed %d): %w", cfg.Seed, err)
@@ -147,9 +179,11 @@ func Soak(cfg SoakConfig) (*SoakResult, error) {
 	// counters final, and the hub's final drain has already run).
 	var retired uint64
 	mon := health.New(health.Config{
-		Policy: cfg.Policy,
-		Clock:  sim,
-		Hub:    fl.Hub(),
+		Policy:    cfg.Policy,
+		Clock:     sim,
+		Hub:       fl.Hub(),
+		OnVerdict: inc.OnVerdict,
+		OnAction:  inc.OnAction,
 		Vitals: func(id uint64) (health.Vitals, bool) {
 			h, ok := fl.Home(id)
 			if !ok {
@@ -201,7 +235,6 @@ func Soak(cfg SoakConfig) (*SoakResult, error) {
 	// state machine, and every gap leaves room for full remediation
 	// (cordon + dwell + restart + probation) before the next fault.
 	span := time.Duration(cfg.SimDays * 24 * float64(time.Hour))
-	stepDur := time.Duration(cfg.StepSec * float64(time.Second))
 	sched := BuildSchedule(ScheduleConfig{
 		Seed:    cfg.Seed,
 		Homes:   ids,
@@ -272,13 +305,15 @@ func Soak(cfg SoakConfig) (*SoakResult, error) {
 	for _, h := range fl.Homes() {
 		res.Inserts += dbInserts(h.Router.DB)
 	}
+	res.Bundles = inc.Bundles()
+	res.Recorder = rec.Stats()
 
-	return res, s.verify(res, mon, fl)
+	return res, s.verify(res, mon, fl, inc)
 }
 
 // verify checks the soak's invariants; the first violation is returned
 // with the seed so the run reproduces.
-func (s *soakState) verify(res *SoakResult, mon *health.Monitor, fl *fleet.Fleet) error {
+func (s *soakState) verify(res *SoakResult, mon *health.Monitor, fl *fleet.Fleet, inc *flight.Incidents) error {
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("chaos soak (seed %d): %s", s.cfg.Seed, fmt.Sprintf(format, args...))
 	}
@@ -322,6 +357,31 @@ func (s *soakState) verify(res *SoakResult, mon *health.Monitor, fl *fleet.Fleet
 	if res.HubDelivered+res.HubLost != res.Inserts {
 		return fail("telemetry books: delivered %d + lost %d != inserts %d",
 			res.HubDelivered, res.HubLost, res.Inserts)
+	}
+	// Every chaos episode that produced a health verdict left a postmortem
+	// artifact: one bundle per Sick/Cordoned verdict and per remediation
+	// action, and every bundle is a row in the Incidents audit table.
+	wantBundles := res.Counts.SickVerdicts + res.Counts.CordonedVerdicts + res.Counts.Actions()
+	if res.Bundles != wantBundles {
+		return fail("incident bundles %d != %d sick + %d cordoned verdicts + %d actions",
+			res.Bundles, res.Counts.SickVerdicts, res.Counts.CordonedVerdicts, res.Counts.Actions())
+	}
+	it, _ := inc.DB().Table(flight.TableIncidents)
+	iIns, _ := it.Stats()
+	if int(iIns) != res.Bundles {
+		return fail("incident rows %d != bundles recorded %d", iIns, res.Bundles)
+	}
+	// Flight recorder books compose with the hub's: every delivered row is
+	// stored or compacted, and the recorder saw exactly what the hub
+	// delivered (it was attached before the first drain).
+	fs := res.Recorder
+	if fs.Delivered+fs.ViewRows != fs.Stored+fs.Compacted {
+		return fail("flight books: %d delivered + %d view rows != %d stored + %d compacted",
+			fs.Delivered, fs.ViewRows, fs.Stored, fs.Compacted)
+	}
+	if fs.Delivered != res.HubDelivered || fs.Lost != res.HubLost {
+		return fail("flight recorder saw %d delivered / %d lost, hub books say %d / %d",
+			fs.Delivered, fs.Lost, res.HubDelivered, res.HubLost)
 	}
 	return nil
 }

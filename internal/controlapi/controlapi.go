@@ -18,6 +18,8 @@
 //	POST   /api/keys/{id}/remove      USB key removal
 //	GET    /api/access/{mac}          effective restriction for a device
 //	GET    /api/trace                 punt-lifecycle per-stage latency summary
+//	GET    /api/replay/{table}        retained table history (text/plain;
+//	                                  ?from=&to= unix nanoseconds)
 //
 // Concurrency: the API holds no mutable state of its own. Each request
 // runs on its own HTTP-server goroutine and delegates to the DHCP server
@@ -31,6 +33,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -53,6 +56,11 @@ type API struct {
 	// latency summaries for GET /api/trace (the hwctl trace view). The
 	// router wires it to its tracer; nil serves an empty list.
 	Trace func() []trace.StageStats
+	// Replay, when set, renders a table's retained history between two
+	// instants (zero bounds open) as tabular text for GET /api/replay —
+	// the hwctl replay view. The router wires it to its hwdb History;
+	// nil answers 404.
+	Replay func(table string, from, to time.Time) (string, error)
 
 	mux *http.ServeMux
 	srv *http.Server
@@ -154,6 +162,41 @@ func (a *API) routes() {
 			stats = a.Trace()
 		}
 		writeJSON(w, http.StatusOK, stats)
+	})
+
+	a.mux.HandleFunc("GET /api/replay/{table}", func(w http.ResponseWriter, r *http.Request) {
+		if a.Replay == nil {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("replay not available"))
+			return
+		}
+		parseTS := func(key string) (time.Time, error) {
+			v := r.URL.Query().Get(key)
+			if v == "" {
+				return time.Time{}, nil
+			}
+			n, err := strconv.ParseInt(strings.TrimPrefix(v, "@"), 10, 64)
+			if err != nil {
+				return time.Time{}, fmt.Errorf("bad %s timestamp %q", key, v)
+			}
+			return time.Unix(0, n), nil
+		}
+		from, err := parseTS("from")
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		to, err := parseTS("to")
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		text, err := a.Replay(r.PathValue("table"), from, to)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, text)
 	})
 
 	a.mux.HandleFunc("GET /api/devices", func(w http.ResponseWriter, r *http.Request) {

@@ -206,3 +206,50 @@ func TestNameAndConfigure(t *testing.T) {
 		t.Errorf("router ip = %v", api.RouterIP)
 	}
 }
+
+// TestReplayEndpoint: /api/replay/{table} forwards parsed bounds to the
+// Replay hook, 404s without one, and 400s on bad timestamps.
+func TestReplayEndpoint(t *testing.T) {
+	api, _, _, ts := testAPI(t)
+
+	resp, err := http.Get(ts.URL + "/api/replay/Flows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("hookless replay status = %d", resp.StatusCode)
+	}
+
+	var gotTable string
+	var gotFrom, gotTo time.Time
+	api.Replay = func(table string, from, to time.Time) (string, error) {
+		gotTable, gotFrom, gotTo = table, from, to
+		return "timestamp n\n", nil
+	}
+	resp, err = http.Get(ts.URL + "/api/replay/Flows?from=@100&to=200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	_, _ = body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay status = %d body = %q", resp.StatusCode, body.String())
+	}
+	if gotTable != "Flows" || gotFrom.UnixNano() != 100 || gotTo.UnixNano() != 200 {
+		t.Fatalf("hook called with table=%q from=%d to=%d", gotTable, gotFrom.UnixNano(), gotTo.UnixNano())
+	}
+	if !strings.HasPrefix(body.String(), "timestamp") {
+		t.Fatalf("replay body = %q", body.String())
+	}
+
+	resp, err = http.Get(ts.URL + "/api/replay/Flows?from=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-from status = %d", resp.StatusCode)
+	}
+}

@@ -264,6 +264,15 @@ func New(cfg Config) (*Router, error) {
 	}
 	// hwctl trace / the REST surface read the same per-stage summaries.
 	r.API.Trace = r.Tracer.Stats
+	// hwctl replay scrubs a table's retained history (the live rings by
+	// default; AS OF-grade depth when a HistorySource is set on r.DB).
+	r.API.Replay = func(table string, from, to time.Time) (string, error) {
+		res, err := r.DB.History(table, from, to)
+		if err != nil {
+			return "", err
+		}
+		return res.Text(), nil
+	}
 	return r, nil
 }
 

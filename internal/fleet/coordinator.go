@@ -160,6 +160,25 @@ func (c *Coordinator) PlacementHistory() []PlacementEvent {
 	return append([]PlacementEvent(nil), c.history...)
 }
 
+// PlacementFor returns the most recent placement events involving one
+// home, oldest-first, capped at max (<= 0 means no cap). The incident
+// recorder slices this into its bundles so a postmortem shows how the
+// home got to its current shard.
+func (c *Coordinator) PlacementFor(home uint64, max int) []PlacementEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []PlacementEvent
+	for _, ev := range c.history {
+		if ev.Home == home {
+			out = append(out, ev)
+		}
+	}
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
 // AddHome brings up one more home and returns it, placed by the modulo
 // policy.
 func (c *Coordinator) AddHome() (*Home, error) {

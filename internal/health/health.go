@@ -156,6 +156,11 @@ type Counts struct {
 	Restarts  int
 	Replaces  int
 	Failures  int // remediation actions that returned an error
+
+	// Per-state verdict breakdown for the incident recorder's bundle
+	// reconciliation: how many verdicts landed in Sick / Cordoned.
+	SickVerdicts     int
+	CordonedVerdicts int
 }
 
 // Actions returns the total remediation actions recorded (the Remedy

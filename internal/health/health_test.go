@@ -91,7 +91,8 @@ func TestEscalationLadder(t *testing.T) {
 	}
 
 	c := m.Counts()
-	want := Counts{Verdicts: 9, Cordons: 3, Uncordons: 2, Restarts: 2, Replaces: 1}
+	want := Counts{Verdicts: 9, Cordons: 3, Uncordons: 2, Restarts: 2, Replaces: 1,
+		SickVerdicts: 3, CordonedVerdicts: 3}
 	if c != want {
 		t.Errorf("counts = %+v, want %+v", c, want)
 	}

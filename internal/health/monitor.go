@@ -44,6 +44,30 @@ type Config struct {
 	Actions Actions
 	// RingSize bounds the monitor's own hwdb rings (default 4096).
 	RingSize int
+	// OnVerdict, when set, fires synchronously after every state
+	// transition's Health row is recorded, outside the monitor mutex —
+	// the handler may take its own locks (the flight recorder's incident
+	// hook does) but must not call back into the monitor's mutators.
+	OnVerdict func(VerdictEvent)
+	// OnAction fires likewise after every remediation action's Remedy
+	// row is recorded.
+	OnAction func(ActionEvent)
+}
+
+// VerdictEvent describes one recorded state transition (a Health row).
+type VerdictEvent struct {
+	Home   uint64
+	From   State
+	To     State
+	Reason string
+}
+
+// ActionEvent describes one recorded remediation action (a Remedy row).
+type ActionEvent struct {
+	Home   uint64
+	Action string
+	OK     bool
+	Detail string
 }
 
 // homeState is the per-home evaluator window and state machine.
@@ -385,9 +409,18 @@ func (m *Monitor) setState(id uint64, hs *homeState, to State, reason string) {
 	from := hs.state
 	hs.state = to
 	m.counts.Verdicts++
+	switch to {
+	case Sick:
+		m.counts.SickVerdicts++
+	case Cordoned:
+		m.counts.CordonedVerdicts++
+	}
 	m.mu.Unlock()
 	_ = m.db.Insert(TableHealth, hwdb.Int64(int64(id)),
 		hwdb.Str(to.String()), hwdb.Str(from.String()), hwdb.Str(reason))
+	if m.cfg.OnVerdict != nil {
+		m.cfg.OnVerdict(VerdictEvent{Home: id, From: from, To: to, Reason: reason})
+	}
 }
 
 // act records one remediation action outcome as a Remedy row.
@@ -418,4 +451,7 @@ func (m *Monitor) actDetail(id uint64, action string, err error, detail string) 
 	m.mu.Unlock()
 	_ = m.db.Insert(TableRemedy, hwdb.Int64(int64(id)),
 		hwdb.Str(action), hwdb.Bool(err == nil), hwdb.Str(detail))
+	if m.cfg.OnAction != nil {
+		m.cfg.OnAction(ActionEvent{Home: id, Action: action, OK: err == nil, Detail: detail})
+	}
 }

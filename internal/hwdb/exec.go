@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Result is a query result: a header row plus data rows, oldest-first
@@ -75,7 +76,22 @@ func (db *DB) Select(sel *SelectStmt) (*Result, error) {
 	if err := validateExpr(schema, sel.Where); err != nil {
 		return nil, err
 	}
-	rows := t.window(sel.Win, db.clk.Now())
+	// Source the rows: live ring for ordinary queries, retained history
+	// for time travel. AS OF also re-anchors window evaluation at the
+	// requested instant, so `[RANGE n] AS OF @t` reads relative to t.
+	now := db.clk.Now()
+	var rows []Row
+	switch {
+	case sel.HasAsOf:
+		rows = db.historyRows(t, time.Time{}, sel.AsOf)
+		now = sel.AsOf
+	case sel.HasHist:
+		rows = db.historyRows(t, sel.HistFrom, sel.HistTo)
+		now = sel.HistTo
+	default:
+		rows = t.Snapshot()
+	}
+	rows = applyWindow(rows, sel.Win, now)
 
 	// Filter.
 	if sel.Where != nil {
@@ -121,6 +137,24 @@ func (db *DB) Select(sel *SelectStmt) (*Result, error) {
 		res.Rows = res.Rows[:sel.Limit]
 	}
 	return res, nil
+}
+
+// History is the programmatic form of `SELECT * FROM table HISTORY @from
+// @to`: the table's retained rows (HistorySource-widened when one is
+// attached) in the inclusive range, projected with the timestamp column.
+// Zero bounds are open.
+func (db *DB) History(table string, from, to time.Time) (*Result, error) {
+	t, ok := db.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("hwdb: no such table %s", table)
+	}
+	sel := &SelectStmt{
+		Items:    []SelectItem{{Col: "*"}},
+		Table:    table,
+		HistFrom: from, HistTo: to, HasHist: true,
+	}
+	rows := db.historyRows(t, from, to)
+	return project(t.Schema(), sel, rows)
 }
 
 // validateExpr checks that every column referenced by a WHERE expression

@@ -169,6 +169,19 @@ type SelectStmt struct {
 	GroupBy []string
 	Order   []OrderBy
 	Limit   int // 0 = unlimited
+
+	// Time travel (AS OF @<unix-nanos> | HISTORY @<from> @<to>): when
+	// HasAsOf is set the statement evaluates against the table's state at
+	// AsOf — rows with TS <= AsOf, with RANGE/NOW windows anchored at AsOf
+	// instead of the clock — and when HasHist is set it evaluates over the
+	// retained rows with HistFrom <= TS <= HistTo. Both draw from the
+	// database's HistorySource when one is attached (the flight recorder's
+	// compacted windows) and fall back to the live ring otherwise.
+	AsOf     time.Time
+	HasAsOf  bool
+	HistFrom time.Time
+	HistTo   time.Time
+	HasHist  bool
 }
 
 // InsertStmt is a parsed INSERT INTO t VALUES (...).
@@ -298,6 +311,30 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			return nil, err
 		}
 		st.Win = w
+	}
+	switch {
+	case p.accept(tokIdent, "as"):
+		if _, err := p.expect(tokIdent, "of"); err != nil {
+			return nil, err
+		}
+		ts, err := p.parseTimestamp()
+		if err != nil {
+			return nil, err
+		}
+		st.AsOf, st.HasAsOf = ts, true
+	case p.accept(tokIdent, "history"):
+		from, err := p.parseTimestamp()
+		if err != nil {
+			return nil, err
+		}
+		to, err := p.parseTimestamp()
+		if err != nil {
+			return nil, err
+		}
+		if to.Before(from) {
+			return nil, fmt.Errorf("hwdb: HISTORY range ends (@%d) before it starts (@%d)", to.UnixNano(), from.UnixNano())
+		}
+		st.HistFrom, st.HistTo, st.HasHist = from, to, true
 	}
 	if p.accept(tokIdent, "where") {
 		e, err := p.parseOr()
@@ -435,6 +472,23 @@ func (p *parser) parseWindow() (Window, error) {
 		return w, err
 	}
 	return w, nil
+}
+
+// parseTimestamp reads an @<unix-nanos> timestamp argument (the same
+// literal form WHERE accepts for the timestamp pseudo-column).
+func (p *parser) parseTimestamp() (time.Time, error) {
+	if _, err := p.expect(tokSymbol, "@"); err != nil {
+		return time.Time{}, err
+	}
+	n, err := p.expect(tokNumber, "")
+	if err != nil {
+		return time.Time{}, err
+	}
+	i, err := strconv.ParseInt(n.text, 10, 64)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("hwdb: bad timestamp %q", n.text)
+	}
+	return time.Unix(0, i), nil
 }
 
 func parseUnit(s string) (time.Duration, error) {

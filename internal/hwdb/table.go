@@ -141,9 +141,28 @@ func (t *Table) Tail(after uint64) (rows []Row, inserts uint64, lost uint64) {
 	return out, inserts, lost
 }
 
-// window returns rows selected by a window specification, oldest-first.
-func (t *Table) window(w Window, now time.Time) []Row {
+// RowsBetween returns the retained rows with from <= TS <= to,
+// oldest-first. A zero bound is open: RowsBetween(time.Time{}, to) is
+// "everything up to to", the ring-local evaluation of AS OF. History
+// older than the ring is gone here — a HistorySource widens the horizon.
+func (t *Table) RowsBetween(from, to time.Time) []Row {
 	rows := t.Snapshot()
+	if !from.IsZero() {
+		i := sort.Search(len(rows), func(i int) bool { return !rows[i].TS.Before(from) })
+		rows = rows[i:]
+	}
+	if !to.IsZero() {
+		i := sort.Search(len(rows), func(i int) bool { return rows[i].TS.After(to) })
+		rows = rows[:i]
+	}
+	return rows
+}
+
+// applyWindow selects rows by a window specification, oldest-first. now
+// anchors RANGE windows — the clock for live queries, the AS OF instant
+// for time travel, so `[RANGE 5 seconds] AS OF @t` means "the five
+// seconds leading up to t".
+func applyWindow(rows []Row, w Window, now time.Time) []Row {
 	switch w.Kind {
 	case WindowAll:
 		return rows
@@ -165,11 +184,23 @@ func (t *Table) window(w Window, now time.Time) []Row {
 	return rows
 }
 
+// HistorySource serves retained history beyond (or instead of) a table's
+// live ring: the flight recorder's compacted retention windows implement
+// it. HistoryRows returns the rows for table with from <= TS <= to (zero
+// bounds are open), oldest-first in insertion order, and whether the
+// source covers the table at all — false falls the query back to the
+// ring, so a database with a partial source still answers for every
+// table.
+type HistorySource interface {
+	HistoryRows(table string, from, to time.Time) ([]Row, bool)
+}
+
 // DB is a named collection of tables with a clock for window evaluation.
 type DB struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
-	clk    clock.Clock
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	clk     clock.Clock
+	history HistorySource
 }
 
 // New creates an empty database using clk for RANGE windows and insertion
@@ -183,6 +214,28 @@ func New(clk clock.Clock) *DB {
 
 // Clock returns the database clock.
 func (db *DB) Clock() clock.Clock { return db.clk }
+
+// SetHistory attaches the source AS OF / HISTORY queries draw retained
+// rows from (nil detaches; queries then evaluate over the live rings).
+func (db *DB) SetHistory(h HistorySource) {
+	db.mu.Lock()
+	db.history = h
+	db.mu.Unlock()
+}
+
+// historyRows sources the rows for a time-travel query: the attached
+// HistorySource when it covers the table, the live ring otherwise.
+func (db *DB) historyRows(t *Table, from, to time.Time) []Row {
+	db.mu.RLock()
+	h := db.history
+	db.mu.RUnlock()
+	if h != nil {
+		if rows, ok := h.HistoryRows(t.Name(), from, to); ok {
+			return rows
+		}
+	}
+	return t.RowsBetween(from, to)
+}
 
 // CreateTable adds a table; the name must be unused.
 func (db *DB) CreateTable(name string, schema *Schema, ringSize int) (*Table, error) {

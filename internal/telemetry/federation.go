@@ -25,6 +25,11 @@ type Federation struct {
 
 	mu      sync.Mutex
 	members []*Hub
+	// fns are the SubscribeFunc handlers registered so far; a hub
+	// attached later gets every one of them, so fleet-level consumers
+	// (the health monitor, the flight recorder) see replacement shards'
+	// streams without re-subscribing.
+	fns []func(Delta)
 }
 
 // NewFederation builds a federation with an empty member set and a
@@ -39,8 +44,12 @@ func NewFederation(cfg FolderConfig) *Federation {
 func (fd *Federation) Attach(hub *Hub) {
 	fd.mu.Lock()
 	fd.members = append(fd.members, hub)
+	fns := append([]func(Delta){}, fd.fns...)
 	fd.mu.Unlock()
 	hub.SubscribeFunc(fd.folder.consume)
+	for _, fn := range fns {
+		hub.SubscribeFunc(fn)
+	}
 }
 
 // Members returns how many hubs are federated.
@@ -104,12 +113,14 @@ func (fd *Federation) Subscribe(buf int) *Subscription {
 	return sub
 }
 
-// SubscribeFunc registers a synchronous handler on every member hub; it
+// SubscribeFunc registers a synchronous handler on every member hub —
+// current and future (hubs attached later are subscribed on Attach). It
 // runs inside each member's drain pass. Source home IDs are fleet-unique
 // so the handler needs no shard disambiguation.
 func (fd *Federation) SubscribeFunc(fn func(Delta)) {
 	fd.mu.Lock()
 	members := append([]*Hub(nil), fd.members...)
+	fd.fns = append(fd.fns, fn)
 	fd.mu.Unlock()
 	for _, h := range members {
 		h.SubscribeFunc(fn)

@@ -18,8 +18,13 @@ import (
 // so hwdb.Client drives it unchanged) with a fleet verb set:
 //
 //	EXEC        body = one CQL SELECT against the FleetStats view
+//	            (including AS OF @<nanos> / HISTORY @<from> @<to> time
+//	            travel when a flight recorder is attached to the view)
 //	STATS       one-row tabular fleet totals + windowed rates
 //	TRACE       per-stage punt-lifecycle latency summary (fleet-merged)
+//	REPLAY      body = <home> <table> [@<from> [@<to>]]; scrubs the flight
+//	            recorder's retained rows for one home's table
+//	            (ERR when no replay source is installed)
 //	SUBSCRIBE   body = [SUBSCRIBE] FLEET EVERY <n> <unit>; OK arg is the id
 //	UNSUBSCRIBE body = id
 //	PING
@@ -42,6 +47,9 @@ type Server struct {
 	// traceFn supplies fleet-merged punt-lifecycle stage summaries for
 	// the TRACE verb (atomic: SetTraceSource may race in-flight requests).
 	traceFn atomic.Pointer[func() []trace.StageStats]
+	// replayFn serves the REPLAY verb from the flight recorder's
+	// retained windows (same atomic discipline as traceFn).
+	replayFn atomic.Pointer[func(home uint64, table string, from, to time.Time) (*hwdb.Result, error)]
 
 	mu     sync.Mutex
 	subs   map[uint64]*fleetSub
@@ -68,6 +76,13 @@ func NewServer(folder *Folder) *Server {
 // Safe to call at any time, including while serving; a server without
 // one answers TRACE with an empty table.
 func (s *Server) SetTraceSource(fn func() []trace.StageStats) { s.traceFn.Store(&fn) }
+
+// SetReplaySource installs the function the REPLAY verb calls to scrub a
+// home's recorded table history (flight.Recorder.Replay, typically). Safe
+// to call at any time; a server without one answers REPLAY with an error.
+func (s *Server) SetReplaySource(fn func(home uint64, table string, from, to time.Time) (*hwdb.Result, error)) {
+	s.replayFn.Store(&fn)
+}
 
 // Serve binds addr (e.g. "127.0.0.1:0") and serves until Close.
 func (s *Server) Serve(addr string) error {
@@ -153,6 +168,13 @@ func (s *Server) dispatch(addr *net.UDPAddr, seq uint64, verb, body string) {
 		s.reply(addr, seq, fmt.Sprintf("OK %d", len(res.Rows)), res.Text())
 	case "TRACE":
 		res := s.traceResult()
+		s.reply(addr, seq, fmt.Sprintf("OK %d", len(res.Rows)), res.Text())
+	case "REPLAY":
+		res, err := s.replayResult(body)
+		if err != nil {
+			s.reply(addr, seq, "ERR "+err.Error(), "")
+			return
+		}
 		s.reply(addr, seq, fmt.Sprintf("OK %d", len(res.Rows)), res.Text())
 	case "SUBSCRIBE":
 		every, err := parseFleetSubscribe(body)
@@ -323,6 +345,43 @@ func deltaLine(ht HomeTotals, m homeMark) string {
 	}
 	sb.WriteByte('\n')
 	return sb.String()
+}
+
+// replayResult parses "<home> <table> [@<from> [@<to>]]" (timestamps in
+// unix nanoseconds, the leading @ optional) and scrubs the installed
+// replay source.
+func (s *Server) replayResult(body string) (*hwdb.Result, error) {
+	fn := s.replayFn.Load()
+	if fn == nil {
+		return nil, fmt.Errorf("no replay source (flight recorder not attached)")
+	}
+	fields := strings.Fields(strings.TrimSpace(body))
+	if len(fields) < 2 || len(fields) > 4 {
+		return nil, fmt.Errorf("body must be <home> <table> [<from> [<to>]]")
+	}
+	home, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad home id %q", fields[0])
+	}
+	parseTS := func(s string) (time.Time, error) {
+		n, err := strconv.ParseInt(strings.TrimPrefix(s, "@"), 10, 64)
+		if err != nil {
+			return time.Time{}, fmt.Errorf("bad timestamp %q", s)
+		}
+		return time.Unix(0, n), nil
+	}
+	var from, to time.Time
+	if len(fields) >= 3 {
+		if from, err = parseTS(fields[2]); err != nil {
+			return nil, err
+		}
+	}
+	if len(fields) == 4 {
+		if to, err = parseTS(fields[3]); err != nil {
+			return nil, err
+		}
+	}
+	return (*fn)(home, fields[1], from, to)
 }
 
 // statsResult renders the live totals and fleet rate as one tabular row.

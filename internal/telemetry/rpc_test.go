@@ -1,8 +1,10 @@
 package telemetry
 
 import (
+	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -304,6 +306,87 @@ func TestParseFleetSubscribe(t *testing.T) {
 		}
 		if err == nil && got != tc.want {
 			t.Errorf("%q = %v, want %v", tc.body, got, tc.want)
+		}
+	}
+}
+
+// TestServerReplayVerb: REPLAY routes the parsed home/table/bounds to the
+// installed replay source and errors when none is attached.
+func TestServerReplayVerb(t *testing.T) {
+	r := newServerRig(t)
+
+	conn, err := net.Dial("udp", r.srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, 65536)
+	ask := func(seq, body string) string {
+		t.Helper()
+		if _, err := conn.Write([]byte("HWDB/1 " + seq + " REPLAY\n" + body)); err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		n, err := conn.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(buf[:n])
+	}
+
+	// No source installed yet: ERR mentioning the flight recorder.
+	if got := ask("1", "7 Flows"); !strings.HasPrefix(got, "HWDB/1 1 ERR no replay source") {
+		t.Fatalf("sourceless replay reply = %q", got)
+	}
+
+	// The source runs on the server's datagram goroutine; the UDP reply
+	// is not a synchronization edge, so the captures need a lock.
+	var mu sync.Mutex
+	var gotHome uint64
+	var gotTable string
+	var gotFrom, gotTo time.Time
+	r.srv.SetReplaySource(func(home uint64, table string, from, to time.Time) (*hwdb.Result, error) {
+		mu.Lock()
+		gotHome, gotTable, gotFrom, gotTo = home, table, from, to
+		mu.Unlock()
+		return &hwdb.Result{
+			Cols: []string{"timestamp", "n"},
+			Rows: [][]hwdb.Value{{hwdb.TimeVal(time.Unix(0, 5)), hwdb.Int64(1)}},
+		}, nil
+	})
+
+	got := ask("2", "7 Flows @100 @200")
+	if !strings.HasPrefix(got, "HWDB/1 2 OK 1\n") {
+		t.Fatalf("replay reply = %q", got)
+	}
+	mu.Lock()
+	if gotHome != 7 || gotTable != "Flows" || gotFrom.UnixNano() != 100 || gotTo.UnixNano() != 200 {
+		t.Fatalf("source called with home=%d table=%q from=%d to=%d",
+			gotHome, gotTable, gotFrom.UnixNano(), gotTo.UnixNano())
+	}
+	mu.Unlock()
+	res, err := hwdb.ParseText(got[strings.IndexByte(got, '\n')+1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Cols[0] != "timestamp" {
+		t.Fatalf("replay result = %+v", res)
+	}
+
+	// Bounds are optional: two-field body passes zero times through.
+	if got := ask("3", "7 Links"); !strings.HasPrefix(got, "HWDB/1 3 OK 1\n") {
+		t.Fatalf("replay reply = %q", got)
+	}
+	mu.Lock()
+	if gotTable != "Links" || !gotFrom.IsZero() || !gotTo.IsZero() {
+		t.Fatalf("open-bounds call: table=%q from=%v to=%v", gotTable, gotFrom, gotTo)
+	}
+	mu.Unlock()
+
+	for i, bad := range []string{"", "7", "x Flows", "7 Flows @x", "7 Flows @1 @2 @3"} {
+		seq := fmt.Sprintf("%d", 10+i)
+		if got := ask(seq, bad); !strings.HasPrefix(got, "HWDB/1 "+seq+" ERR") {
+			t.Errorf("REPLAY %q reply = %q, want ERR", bad, got)
 		}
 	}
 }
