@@ -7,16 +7,17 @@ import (
 	"testing"
 )
 
-// TestBenchRecordParses gates the committed perf trajectory: BENCH_9.json
+// TestBenchRecordParses gates the committed perf trajectory: BENCH_10.json
 // (written by `make bench` via cmd/benchjson) must parse and carry real
-// measurements for the headline benchmarks — fleet step scaling, settle
-// latency, live telemetry — plus the traced/untraced and flight-recorder
-// attached/detached overhead pairs, so a PR cannot silently ship a stale
-// or hand-edited record.
+// measurements for the headline benchmarks — fleet step scaling across
+// all three control transports (including the shardrpc remote-shard
+// deployment), settle latency, live telemetry — plus the traced/untraced
+// and flight-recorder attached/detached overhead pairs, so a PR cannot
+// silently ship a stale or hand-edited record.
 func TestBenchRecordParses(t *testing.T) {
-	data, err := os.ReadFile("BENCH_9.json")
+	data, err := os.ReadFile("BENCH_10.json")
 	if err != nil {
-		t.Fatalf("BENCH_9.json missing (run `make bench`): %v", err)
+		t.Fatalf("BENCH_10.json missing (run `make bench`): %v", err)
 	}
 	var doc struct {
 		Benchmarks []struct {
@@ -26,7 +27,7 @@ func TestBenchRecordParses(t *testing.T) {
 		} `json:"benchmarks"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
-		t.Fatalf("BENCH_9.json does not parse: %v", err)
+		t.Fatalf("BENCH_10.json does not parse: %v", err)
 	}
 	headlines := []string{
 		"BenchmarkFleetStep",
@@ -51,8 +52,21 @@ func TestBenchRecordParses(t *testing.T) {
 			found++
 		}
 		if found == 0 {
-			t.Errorf("BENCH_9.json has no %s results", headline)
+			t.Errorf("BENCH_10.json has no %s results", headline)
 		}
+	}
+
+	// The fleet-step transport matrix must include the remote-shard
+	// deployment: the in-process-vs-loopback-TCP control plane gap is
+	// part of the trajectory.
+	remote := false
+	for _, b := range doc.Benchmarks {
+		if strings.Contains(b.Name, "BenchmarkFleetStep/transport=shardrpc/") {
+			remote = b.Metrics["home-steps/s"] > 0
+		}
+	}
+	if !remote {
+		t.Error("BENCH_10.json lacks a home-steps/s figure for BenchmarkFleetStep/transport=shardrpc")
 	}
 
 	// The overhead pairs must both be present so the ≤5% tracing and
@@ -71,7 +85,7 @@ func TestBenchRecordParses(t *testing.T) {
 				}
 			}
 			if !found {
-				t.Errorf("BENCH_9.json lacks a home-steps/s figure for %s/%s", bench, mode)
+				t.Errorf("BENCH_10.json lacks a home-steps/s figure for %s/%s", bench, mode)
 			}
 		}
 	}

@@ -16,6 +16,8 @@ import (
 	"repro/internal/datapath"
 	"repro/internal/figures"
 	"repro/internal/fleet"
+	"repro/internal/fleet/engine"
+	"repro/internal/fleet/shardrpc"
 	"repro/internal/flight"
 	"repro/internal/hwdb"
 	"repro/internal/netsim"
@@ -511,7 +513,11 @@ func BenchmarkA3RingSizing(b *testing.B) {
 // with fleet size). The unqualified names run the default shard count
 // (one engine per core, capped at 8 — one on this box) for comparability
 // with the pre-split trajectory; the shards=4 variants exercise the
-// coordinator fan-out and federated telemetry across four engines.
+// coordinator fan-out and federated telemetry across four engines. The
+// transport=shardrpc variants run the same four-engine fan-out with the
+// control plane itself over loopback TCP — coordinator to worker via the
+// HWSH/1 shard protocol, telemetry riding the SYNC batches — pricing the
+// full cross-process fleet deployment against the in-process split.
 func BenchmarkFleetStep(b *testing.B) {
 	for _, kind := range []core.TransportKind{core.TransportInProcess, core.TransportTCP} {
 		for _, homes := range []int{1, 8, 64} {
@@ -525,10 +531,75 @@ func BenchmarkFleetStep(b *testing.B) {
 			benchFleetStep(b, homes, 4, core.TransportInProcess)
 		})
 	}
+	for _, homes := range []int{8, 64} {
+		b.Run(fmt.Sprintf("transport=shardrpc/shards=4/homes=%d", homes), func(b *testing.B) {
+			benchFleetStepRemote(b, homes, 4)
+		})
+	}
 }
 
 func benchFleetStep(b *testing.B, homes, shards int, kind core.TransportKind) {
 	benchFleetStepCfg(b, homes, shards, kind, false)
+}
+
+// benchFleetStepRemote is the same fleet-tick workload with every shard a
+// separate worker engine behind a shardrpc server on loopback, driven by
+// the remote shard client. Homes are populated worker-side via OnAssign
+// (the coordinator holds no handles across the wire) with the identical
+// two-host churned-web mix the in-process bench uses, so home-steps/s is
+// directly comparable across transports.
+func benchFleetStepRemote(b *testing.B, homes, shards int) {
+	onAssign := func(h *fleet.Home) error {
+		for i := 0; i < 2; i++ {
+			host, err := h.Join("", false, netsim.Pos{})
+			if err != nil {
+				return err
+			}
+			app := netsim.NewApp(netsim.AppWeb, "203.0.113.10", 40_000)
+			app.SetFlowChurn(0.75)
+			host.AddApp(app)
+		}
+		return nil
+	}
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		wclk := clock.NewSimulated()
+		eng := engine.New(engine.Config{Index: i, Clock: wclk, Seed: 5, OnAssign: onAssign})
+		b.Cleanup(eng.Close)
+		srv := shardrpc.NewServer(shardrpc.Config{Backend: eng, Hub: eng.Hub(), Clock: wclk})
+		if err := srv.Serve("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(srv.Close)
+		addrs[i] = srv.Addr()
+	}
+	f := fleet.New(fleet.Config{
+		WorkerAddrs: addrs,
+		Clock:       clock.NewSimulated(),
+		Seed:        5,
+		StepTimeout: 30 * time.Second,
+	})
+	b.Cleanup(f.Stop)
+	if _, err := f.AddHomes(homes); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := f.Step(0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Step(0.25); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(homes)*float64(b.N)/b.Elapsed().Seconds(), "home-steps/s")
+	if f.Aggregate(); f.Totals().Flows == 0 {
+		b.Fatal("fleet stepped but no flows were folded")
+	}
 }
 
 // BenchmarkTraceOverhead prices the always-on punt-lifecycle tracing: the

@@ -8,6 +8,21 @@
 //	         [-stats 127.0.0.1:0] [-linger 30s] [-debug-addr 127.0.0.1:6060]
 //
 // Flags override the scenario (default or loaded from -scenario JSON).
+//
+// The fleet can also span processes. A worker serves one shard engine's
+// ShardClient contract over TCP (internal/fleet/shardrpc), populating
+// each home the coordinator assigns from the scenario; a coordinator
+// given -workers drives those shards over the network instead of
+// in-process engines, with each worker's telemetry relayed back into the
+// federated view under the same delivered+lost == inserts accounting:
+//
+//	hwfleetd -worker -listen 127.0.0.1:7701 -shard-index 0
+//	hwfleetd -worker -listen 127.0.0.1:7702 -shard-index 1
+//	hwfleetd -workers 127.0.0.1:7701,127.0.0.1:7702 -homes 16 -duration 10
+//
+// Workers exit when the coordinator closes their shard (or on SIGINT).
+// See docs/ARCHITECTURE.md "Fleet control plane" for the wire protocol
+// and its reconnect/accounting semantics.
 // On completion it prints the run report — including the fleet-merged
 // punt-lifecycle trace summary and FlowPerf loss totals — plus the
 // busiest homes from the aggregated view, and with -cql executes one
@@ -50,13 +65,124 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/clock"
 	"repro/internal/fleet"
+	"repro/internal/fleet/engine"
+	"repro/internal/fleet/shardrpc"
 	"repro/internal/flight"
 	"repro/internal/telemetry"
 )
+
+// runWorker serves one shard engine over TCP until the coordinator
+// closes the shard (CLOSE verb) or the process is signalled. The clock
+// is simulated and advanced only by the coordinator's SYNC timestamps,
+// so a remote fleet steps in the same lockstep as an in-process one.
+func runWorker(s fleet.Scenario, listen string, index int) {
+	clk := clock.NewSimulated()
+	eng := engine.New(engine.Config{
+		Index:    index,
+		Clock:    clk,
+		Seed:     s.Seed,
+		OnAssign: s.SetupHome,
+	})
+	srv := shardrpc.NewServer(shardrpc.Config{Backend: eng, Hub: eng.Hub(), Clock: clk})
+	if err := srv.Serve(listen); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("worker shard %d serving the fleet control plane on tcp://%s", index, srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-srv.Done():
+		log.Printf("worker shard %d: coordinator closed the shard", index)
+	case <-sig:
+		log.Printf("worker shard %d: signalled", index)
+		eng.Close()
+	}
+	srv.Close()
+	st := eng.Stats()
+	fmt.Printf("worker shard %d: %d steps, %d delivered + %d lost rows\n",
+		index, st.Steps, st.Hub.Delivered, st.Hub.Lost)
+}
+
+// runCoordinator drives the scenario over remote workers: same step and
+// aggregation cadence as the in-process runner, but every shard call is
+// a shardrpc round trip and every shard's telemetry arrives through a
+// relay. The final report reconciles the relayed books against the
+// workers' own: delivered+lost must sum identically on both sides of the
+// wire.
+func runCoordinator(s fleet.Scenario, addrs []string, quiet bool) {
+	f := fleet.New(fleet.Config{
+		WorkerAddrs: addrs,
+		Clock:       clock.NewSimulated(),
+		Seed:        s.Seed,
+		StepTimeout: 30 * time.Second,
+	})
+	defer f.Stop()
+	start := time.Now()
+	if _, err := f.AddHomes(s.Homes); err != nil {
+		log.Fatal(err)
+	}
+	steps := int(s.DurationSec / s.StepSec)
+	aggEvery := s.AggEverySec
+	if aggEvery <= 0 {
+		aggEvery = 1
+	}
+	aggSteps := int(aggEvery / s.StepSec)
+	if aggSteps < 1 {
+		aggSteps = 1
+	}
+	for i := 0; i < steps; i++ {
+		if err := f.Step(s.StepSec); err != nil {
+			log.Fatal(err)
+		}
+		if (i+1)%aggSteps == 0 {
+			f.Aggregate()
+			if !quiet {
+				log.Printf("step %d/%d: %+v", i+1, steps, f.Telemetry().FleetRate())
+			}
+		}
+	}
+	f.Sync()
+
+	fmt.Printf("scenario  %s (remote)\n", s.Name)
+	fmt.Printf("homes     %d across %d workers\n", f.Size(), f.Shards())
+	fmt.Printf("steps     %d (%.1fs simulated in %v wall)\n",
+		steps, float64(steps)*s.StepSec, time.Since(start).Round(time.Millisecond))
+	tot := f.Totals()
+	fmt.Printf("flows     %d observations, %d packets, %d bytes\n", tot.Flows, tot.Packets, tot.Bytes)
+	// Per-worker engine books (one RPC each) against the coordinator's
+	// relayed federation books. Individual delivered/lost components may
+	// differ — a row a worker counted delivered can be accounted lost here
+	// if its connection died mid-batch — but the sums must reconcile
+	// exactly: every row is delivered or explicitly lost, never silent.
+	var sumDelivered, sumLost uint64
+	fmt.Println("workers (engine-local books over the wire):")
+	for _, ss := range f.ShardStats() {
+		fmt.Printf("  shard %-3d %4d homes  %10d delivered + %6d lost  %10d rows folded\n",
+			ss.Shard, ss.Homes, ss.Hub.Delivered, ss.Hub.Lost, ss.Totals.Rows)
+		sumDelivered += ss.Hub.Delivered
+		sumLost += ss.Hub.Lost
+	}
+	fed := f.Hub().Stats()
+	fmt.Printf("federated %d delivered + %d lost (relayed books)\n", fed.Delivered, fed.Lost)
+	if sumDelivered+sumLost != fed.Delivered+fed.Lost {
+		fmt.Fprintf(os.Stderr,
+			"error: relayed books disagree with the workers': %d+%d relayed != %d+%d at the workers\n",
+			fed.Delivered, fed.Lost, sumDelivered, sumLost)
+		os.Exit(1)
+	}
+	if tot.Flows == 0 {
+		fmt.Fprintln(os.Stderr, "warning: no flows folded — scenario too short?")
+		os.Exit(1)
+	}
+}
 
 // runChaosSoak drives the chaos soak gate and prints its report; any
 // violated invariant exits non-zero with the reproducing seed.
@@ -104,6 +230,10 @@ func main() {
 	retention := flag.Duration("retention", flight.DefaultRetention, "flight recorder retention (0 disables the recorder)")
 	flightWindow := flag.Duration("flight-window", flight.DefaultWindow, "flight recorder time-bucket width")
 	incidentDir := flag.String("incident-dir", "", "chaos: dump JSON incident bundles into this directory")
+	worker := flag.Bool("worker", false, "serve one shard engine over TCP instead of running a scenario")
+	listen := flag.String("listen", "127.0.0.1:0", "worker: TCP listen address for the shard control plane")
+	shardIndex := flag.Int("shard-index", 0, "worker: this shard's index (labels stats; the engine is placement-blind)")
+	workers := flag.String("workers", "", "coordinator: comma-separated worker addresses to drive instead of in-process shards")
 	flag.Parse()
 
 	if *chaosRun {
@@ -145,6 +275,15 @@ func main() {
 	}
 	if err := s.Validate(); err != nil {
 		log.Fatal(err)
+	}
+
+	if *worker {
+		runWorker(s, *listen, *shardIndex)
+		return
+	}
+	if *workers != "" {
+		runCoordinator(s, strings.Split(*workers, ","), *quiet)
+		return
 	}
 
 	runner, err := fleet.NewRunner(s)

@@ -1,0 +1,263 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/fleet/engine"
+	"repro/internal/fleet/shardrpc"
+)
+
+// The ShardClient conformance suite: one table of contract assertions
+// run identically against the in-process engine and the remote shardrpc
+// client over loopback TCP. Anything the coordinator may assume about a
+// shard must hold for both — a behavioural gap between the two
+// implementations is a bug here before it is a flaky fleet.
+
+// conformKit is one ShardClient implementation under test plus the
+// engine actually backing it (for remote kits, behind a server).
+type conformKit struct {
+	client ShardClient
+	eng    *engine.Engine
+	clk    *clock.Simulated
+}
+
+// conformScenario populates one web host per home so steps generate
+// rows; small and fixed so cross-implementation runs are comparable.
+var conformScenario = Scenario{
+	HostsPerHome: 1,
+	AppMix:       []AppMix{{App: "web", RateBps: 40_000, Weight: 1}},
+}
+
+func newConformEngine() (*engine.Engine, *clock.Simulated) {
+	clk := clock.NewSimulated()
+	eng := engine.New(engine.Config{
+		Clock:    clk,
+		Seed:     11,
+		OnAssign: conformScenario.SetupHome,
+	})
+	return eng, clk
+}
+
+var conformImpls = []struct {
+	name string
+	make func(t *testing.T) conformKit
+}{
+	{"engine", func(t *testing.T) conformKit {
+		eng, clk := newConformEngine()
+		t.Cleanup(eng.Close)
+		return conformKit{client: eng, eng: eng, clk: clk}
+	}},
+	{"shardrpc", func(t *testing.T) conformKit {
+		eng, clk := newConformEngine()
+		srv := shardrpc.NewServer(shardrpc.Config{Backend: eng, Hub: eng.Hub(), Clock: clk})
+		if err := srv.Serve("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		c := shardrpc.Dial(shardrpc.ClientConfig{Addr: srv.Addr(), Clock: clk})
+		t.Cleanup(c.Close)
+		return conformKit{client: c, eng: eng, clk: clk}
+	}},
+}
+
+// normStats zeroes the one wall-clock-derived counter (flow-install
+// latency is measured in real microseconds even under a simulated
+// clock) so deterministic runs compare equal on everything that is
+// actually deterministic.
+func normStats(s engine.Stats) engine.Stats {
+	s.Totals.InstallUSSum = 0
+	return s
+}
+
+// tick advances one kit the way the coordinator does: step, move the
+// shared simulated clock, flush telemetry.
+func (k conformKit) tick(t *testing.T, dt float64) {
+	t.Helper()
+	if err := k.client.Step(dt); err != nil {
+		t.Fatal(err)
+	}
+	k.clk.Advance(time.Duration(dt * float64(time.Second)))
+	k.client.Sync()
+}
+
+// TestShardClientConformance runs every contract assertion against both
+// implementations.
+func TestShardClientConformance(t *testing.T) {
+	for _, impl := range conformImpls {
+		impl := impl
+		t.Run(impl.name, func(t *testing.T) {
+			t.Run("AssignLiveIDErrors", func(t *testing.T) {
+				k := impl.make(t)
+				if err := k.client.Assign(1); err != nil {
+					t.Fatal(err)
+				}
+				if err := k.client.Assign(1); err == nil {
+					t.Fatal("assigning a live home ID succeeded")
+				}
+			})
+			t.Run("DrainThenAssignRestarts", func(t *testing.T) {
+				k := impl.make(t)
+				if err := k.client.Assign(2); err != nil {
+					t.Fatal(err)
+				}
+				if !k.client.Drain(2) {
+					t.Fatal("drain of a live home reported false")
+				}
+				if k.client.Drain(2) {
+					t.Fatal("second drain of the same home reported true")
+				}
+				if err := k.client.Assign(2); err != nil {
+					t.Fatalf("re-assign after drain: %v", err)
+				}
+				if st := k.client.Stats(); st.Homes != 1 {
+					t.Fatalf("homes = %d after restart, want 1", st.Homes)
+				}
+			})
+			t.Run("CordonAbsentFalse", func(t *testing.T) {
+				k := impl.make(t)
+				if k.client.Cordon(9) || k.client.Uncordon(9) {
+					t.Fatal("cordon/uncordon of an absent home reported true")
+				}
+				if err := k.client.Assign(9); err != nil {
+					t.Fatal(err)
+				}
+				if !k.client.Cordon(9) || !k.client.Uncordon(9) {
+					t.Fatal("cordon/uncordon of a live home reported false")
+				}
+			})
+			t.Run("StepPurity", func(t *testing.T) {
+				// Step must not move the shared clock (the coordinator
+				// owns time) and must not flush telemetry (Sync owns the
+				// delta barrier).
+				k := impl.make(t)
+				if err := k.client.Assign(3); err != nil {
+					t.Fatal(err)
+				}
+				before := k.clk.Now()
+				if err := k.client.Step(0.25); err != nil {
+					t.Fatal(err)
+				}
+				if !k.clk.Now().Equal(before) {
+					t.Fatalf("step moved the shared clock %v -> %v", before, k.clk.Now())
+				}
+				if st := k.client.Stats(); st.Hub.Delivered != 0 {
+					t.Fatalf("step flushed telemetry: %d rows delivered before Sync", st.Hub.Delivered)
+				}
+				k.clk.Advance(250 * time.Millisecond)
+				k.client.Sync()
+				if st := k.client.Stats(); st.Hub.Delivered == 0 {
+					t.Fatal("no rows delivered after step+sync of a populated home")
+				}
+			})
+			t.Run("SyncDeterminism", func(t *testing.T) {
+				// The same scripted lifecycle on two fresh instances of
+				// the same implementation produces identical stats.
+				a, b := impl.make(t), impl.make(t)
+				for _, k := range []conformKit{a, b} {
+					if err := k.client.Assign(4); err != nil {
+						t.Fatal(err)
+					}
+					for i := 0; i < 3; i++ {
+						k.tick(t, 0.25)
+					}
+				}
+				sa, sb := normStats(a.client.Stats()), normStats(b.client.Stats())
+				if !reflect.DeepEqual(sa, sb) {
+					t.Fatalf("same script, diverging stats:\n a %+v\n b %+v", sa, sb)
+				}
+			})
+			t.Run("StatsBooksReconcile", func(t *testing.T) {
+				k := impl.make(t)
+				for id := uint64(1); id <= 3; id++ {
+					if err := k.client.Assign(id); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for i := 0; i < 4; i++ {
+					k.tick(t, 0.25)
+				}
+				// Count inserts via the backing engine's homes: hub books
+				// must cover every row the watched tables ever took.
+				var inserts uint64
+				for _, h := range k.eng.Homes() {
+					for _, name := range watchedTables {
+						if tbl, ok := h.Router.DB.Table(name); ok {
+							ins, _ := tbl.Stats()
+							inserts += ins
+						}
+					}
+				}
+				if inserts == 0 {
+					t.Fatal("scripted run inserted no rows")
+				}
+				st := k.client.Stats()
+				if st.Hub.Delivered+st.Hub.Lost != inserts {
+					t.Fatalf("books do not reconcile: delivered %d + lost %d != %d inserts",
+						st.Hub.Delivered, st.Hub.Lost, inserts)
+				}
+			})
+			t.Run("TraceSnapshotMatchesBackend", func(t *testing.T) {
+				k := impl.make(t)
+				if err := k.client.Assign(6); err != nil {
+					t.Fatal(err)
+				}
+				k.tick(t, 0.25)
+				if got, want := k.client.TraceSnapshot(), k.eng.TraceSnapshot(); !reflect.DeepEqual(got, want) {
+					t.Fatal("client trace snapshot diverges from the backing engine's")
+				}
+				if got, want := k.client.Stats(), k.eng.Stats(); !reflect.DeepEqual(got, want) {
+					t.Fatalf("client stats diverge from the backing engine's:\n got %+v\nwant %+v", got, want)
+				}
+			})
+			t.Run("CloseIdempotent", func(t *testing.T) {
+				k := impl.make(t)
+				if err := k.client.Assign(8); err != nil {
+					t.Fatal(err)
+				}
+				k.client.Close()
+				k.client.Close() // must not panic or double-teardown
+				if err := k.client.Assign(10); err == nil {
+					t.Fatal("assign succeeded after Close")
+				}
+				if k.client.Drain(8) {
+					t.Fatal("drain reported true after Close")
+				}
+			})
+		})
+	}
+}
+
+// TestConformanceCrossImplementation scripts the same lifecycle against
+// the in-process engine and the remote client and demands identical
+// engine-level stats: the transport must be invisible to simulation
+// results.
+func TestConformanceCrossImplementation(t *testing.T) {
+	kits := make(map[string]conformKit, len(conformImpls))
+	for _, impl := range conformImpls {
+		kits[impl.name] = impl.make(t)
+	}
+	for _, k := range kits {
+		for _, id := range []uint64{1, 2} {
+			if err := k.client.Assign(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			k.tick(t, 0.25)
+		}
+		if !k.client.Drain(2) {
+			t.Fatal("drain failed")
+		}
+		k.tick(t, 0.25)
+	}
+	local, remote := normStats(kits["engine"].client.Stats()), normStats(kits["shardrpc"].client.Stats())
+	if !reflect.DeepEqual(local, remote) {
+		t.Fatalf("transport changed the simulation:\n engine   %+v\n shardrpc %+v", local, remote)
+	}
+	if local.Homes != 1 || local.Steps != 5 {
+		t.Fatalf("script sanity: %+v, want 1 home, 5 steps", local)
+	}
+}

@@ -98,6 +98,15 @@ func New(cfg Config) *Fleet {
 		fed:   telemetry.NewFederation(telemetry.FolderConfig{Clock: clk, ViewRing: cfg.RingSize}),
 		place: make(map[uint64]int),
 	}
+	if len(cfg.WorkerAddrs) > 0 {
+		// Remote fleet: one shardrpc client per worker address, each with
+		// a federated relay standing in for the worker's hub. No engines
+		// exist in this process, so Home/Homes return nothing; everything
+		// else — lifecycle, stepping, Stats, telemetry — is identical.
+		c.cfg.Shards = len(cfg.WorkerAddrs)
+		c.shards = newRemoteShards(c.cfg, c.fed)
+		return c
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		e := engine.New(engine.Config{
 			Index:        i,
@@ -238,6 +247,13 @@ func (c *Coordinator) assign(id uint64, s int) (*Home, error) {
 		c.mu.Unlock()
 		return nil, err
 	}
+	if len(c.engines) == 0 {
+		// Remote shard: the home lives in the worker process. Track it in
+		// the global folder (host counts arrive via Stats, not a handle)
+		// and return a nil handle — remote callers use IDs, not Homes.
+		c.fed.AddHome(id, nil)
+		return nil, nil
+	}
 	h, ok := c.engines[s].Home(id)
 	if !ok {
 		// The engine accepted the assign but the home is already gone —
@@ -281,15 +297,30 @@ func (c *Coordinator) AddHomes(n int) ([]*Home, error) {
 	return homes, errors.Join(errs...)
 }
 
-// Home returns a live home by ID (in-process handle).
+// Home returns a live home by ID (in-process handle). Remote fleets have
+// no in-process handles: Home reports false for every ID even though the
+// home is live on its worker — use HomeIDs/HomeShard/ShardStats instead.
 func (c *Coordinator) Home(id uint64) (*Home, bool) {
 	c.mu.Lock()
 	s, ok := c.place[id]
 	c.mu.Unlock()
-	if !ok {
+	if !ok || len(c.engines) == 0 {
 		return nil, false
 	}
 	return c.engines[s].Home(id)
+}
+
+// HomeIDs returns every placed home ID in ascending order — the
+// handle-free membership view remote fleets drive churn with.
+func (c *Coordinator) HomeIDs() []uint64 {
+	c.mu.Lock()
+	out := make([]uint64, 0, len(c.place))
+	for id := range c.place {
+		out = append(out, id)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // HomeShard returns which shard a live home is placed on.
@@ -438,7 +469,7 @@ func (c *Coordinator) Step(dt float64) error {
 	var err error
 	if len(c.shards) == 1 {
 		// Single shard: step inline, no fan-out goroutine.
-		err = c.shards[0].Step(dt)
+		err = c.stepShard(c.shards[0], dt)
 	} else {
 		errs := make([]error, len(c.shards))
 		var wg sync.WaitGroup
@@ -447,7 +478,7 @@ func (c *Coordinator) Step(dt float64) error {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				errs[i] = sc.Step(dt)
+				errs[i] = c.stepShard(sc, dt)
 			}()
 		}
 		wg.Wait()

@@ -60,6 +60,12 @@ type Config struct {
 	// the worker, before the home is stepped, with the engine's Index as
 	// the shard argument.
 	OnStep func(shard int, home uint64, step uint64)
+	// OnAssign, when set, populates each newly assigned home (zones,
+	// hosts, apps) after its telemetry tables are watched, so every row
+	// the population inserts is accounted. It is how a remote worker —
+	// which the coordinator cannot hand Home handles to — seeds scenario
+	// state. A non-nil error drains the home again and fails the Assign.
+	OnAssign func(h *Home) error
 }
 
 // Stats is one engine's self-reported state: how many homes it holds,
@@ -188,6 +194,12 @@ func (e *Engine) Assign(id uint64) error {
 	for _, name := range watchedTables {
 		if t, ok := rt.DB.Table(name); ok {
 			e.hub.Watch(telemetry.SourceID{Home: id, Table: name}, t)
+		}
+	}
+	if e.cfg.OnAssign != nil {
+		if err := e.cfg.OnAssign(h); err != nil {
+			e.Drain(id)
+			return fmt.Errorf("fleet: home %d: populate: %w", id, err)
 		}
 	}
 	return nil

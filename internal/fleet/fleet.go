@@ -36,6 +36,8 @@
 package fleet
 
 import (
+	"time"
+
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/fleet/engine"
@@ -70,6 +72,23 @@ type Config struct {
 	// HomeConfig, when set, mutates each new home's router config after
 	// the fleet defaults (AutoPermit, Seed, Clock) are applied.
 	HomeConfig func(id uint64, cfg *core.Config)
+
+	// WorkerAddrs switches the fleet to remote shards: one shardrpc
+	// worker address per shard (Shards is then len(WorkerAddrs) and
+	// Workers/HomeConfig apply worker-side, not here). Homes live in the
+	// worker processes, so in-process handles (Home, Homes) are
+	// unavailable; lifecycle, stepping, Stats and federated telemetry
+	// work identically. See docs/ARCHITECTURE.md "Fleet control plane".
+	WorkerAddrs []string
+	// StepTimeout bounds each shard's share of a fleet tick — in-process
+	// and remote alike — so one wedged shard fails the tick with
+	// ErrStepTimeout instead of hanging it (default 0: wait forever for
+	// in-process shards; remote shards still enforce the shardrpc
+	// client's own call timeout).
+	StepTimeout time.Duration
+	// CallTimeout bounds each non-Step remote round trip (default 10s);
+	// ignored for in-process shards.
+	CallTimeout time.Duration
 
 	// onStep observes scheduler activity (tests only): it runs inside
 	// the engine worker, before the home is stepped, with the home's

@@ -250,6 +250,29 @@ func (r *Runner) Run() (rep *Report, err error) {
 	return rep, nil
 }
 
+// SetupHome populates one home per the scenario — upstream zones plus
+// HostsPerHome hosts with apps drawn from the mix by the home's own
+// deterministic RNG. It is the worker-side population hook: a remote
+// hwfleetd worker passes it as engine.Config.OnAssign, so a home comes up
+// identically whether the coordinator holds its handle or only its ID.
+func (s Scenario) SetupHome(h *Home) error {
+	registerZones(h)
+	rng := h.Rand()
+	for i := 0; i < s.HostsPerHome; i++ {
+		wireless := rng.Float64() < s.WirelessFrac
+		pos := netsim.Pos{X: 1 + rng.Float64()*9, Y: rng.Float64() * 6}
+		host, err := h.Join("", wireless, pos)
+		if err != nil {
+			return err
+		}
+		if m, ok := drawMix(s.AppMix, rng.Float64()); ok {
+			kind, _ := appKind(m.App)
+			host.AddApp(netsim.NewApp(kind, zoneFor(m.App), m.RateBps))
+		}
+	}
+	return nil
+}
+
 // populate attaches one host with an app drawn from the scenario mix.
 func (r *Runner) populate(h *Home) error {
 	s := r.Scenario

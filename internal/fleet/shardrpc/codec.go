@@ -1,0 +1,649 @@
+package shardrpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fleet/engine"
+	"repro/internal/hwdb"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// errFrame wraps every decode failure so callers can distinguish a
+// malformed peer from a transport error.
+var errFrame = errors.New("shardrpc: bad frame")
+
+func frameErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errFrame, fmt.Sprintf(format, args...))
+}
+
+// ------------------------------------------------------------- framing
+
+// writeFrame writes one length-prefixed frame in a single Write call, so
+// a frame is either fully queued to the kernel or the connection is dead
+// — the commit protocol relies on that atomicity at this layer.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("shardrpc: frame %d bytes exceeds MaxFrame", len(payload))
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame, rejecting oversized
+// declarations before allocating.
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, frameErr("declared payload %d exceeds MaxFrame", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// ------------------------------------------------------ binary primitives
+
+// enc appends binary body primitives.
+type enc struct{ b []byte }
+
+func (e *enc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) varint(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) float(v float64)  { e.b = binary.BigEndian.AppendUint64(e.b, math.Float64bits(v)) }
+func (e *enc) str(s string)     { e.uvarint(uint64(len(s))); e.b = append(e.b, s...) }
+func (e *enc) bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.b = append(e.b, b)
+}
+func (e *enc) byte(v byte) { e.b = append(e.b, v) }
+
+// dec consumes binary body primitives with strict bounds checking: every
+// length read is validated against the bytes actually remaining, so a
+// corrupt frame can neither over-read nor bait a huge allocation.
+type dec struct {
+	b   []byte
+	off int
+}
+
+func (d *dec) remaining() int { return len(d.b) - d.off }
+
+func (d *dec) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, frameErr("truncated uvarint at %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *dec) varint() (int64, error) {
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		return 0, frameErr("truncated varint at %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *dec) float() (float64, error) {
+	if d.remaining() < 8 {
+		return 0, frameErr("truncated float at %d", d.off)
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v, nil
+}
+
+func (d *dec) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(d.remaining()) {
+		return "", frameErr("string of %d bytes with %d remaining", n, d.remaining())
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *dec) bool() (bool, error) {
+	b, err := d.byte()
+	if err != nil {
+		return false, err
+	}
+	switch b {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, frameErr("bad bool byte %d", b)
+}
+
+func (d *dec) byte() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, frameErr("truncated byte at %d", d.off)
+	}
+	b := d.b[d.off]
+	d.off++
+	return b, nil
+}
+
+// count reads a collection length and bounds it by the cheapest possible
+// per-element cost, so a corrupt length cannot allocate past the frame.
+func (d *dec) count(minBytesPer int) (int, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if minBytesPer < 1 {
+		minBytesPer = 1
+	}
+	if n > uint64(d.remaining()/minBytesPer) {
+		return 0, frameErr("count %d exceeds remaining %d bytes", n, d.remaining())
+	}
+	return int(n), nil
+}
+
+func (d *dec) finish() error {
+	if d.remaining() != 0 {
+		return frameErr("%d trailing bytes", d.remaining())
+	}
+	return nil
+}
+
+// ------------------------------------------------------------- header
+
+func appendHeader(b []byte, fields ...string) []byte {
+	b = append(b, "HWSH/1"...)
+	for _, f := range fields {
+		b = append(b, ' ')
+		b = append(b, f...)
+	}
+	return append(b, '\n')
+}
+
+// splitHeader peels the text header line off a payload. The line is
+// bounded (a verb header is tiny; ERR messages are clamped server-side),
+// so a payload with no newline in the first 512 bytes is malformed.
+func splitHeader(payload []byte) (line string, body []byte, err error) {
+	limit := len(payload)
+	if limit > 512 {
+		limit = 512
+	}
+	for i := 0; i < limit; i++ {
+		if payload[i] == '\n' {
+			return string(payload[:i]), payload[i+1:], nil
+		}
+	}
+	return "", nil, frameErr("no header line")
+}
+
+// ------------------------------------------------------------- request
+
+// EncodeRequest serializes one request payload (header + body, no length
+// prefix).
+func EncodeRequest(req *Request) []byte {
+	e := &enc{b: appendHeader(nil, strconv.FormatUint(req.Seq, 10), req.Verb)}
+	switch req.Verb {
+	case VerbAssign, VerbDrain, VerbCordon, VerbUncordon:
+		e.uvarint(req.ID)
+	case VerbStep:
+		e.float(req.DT)
+	case VerbSync:
+		e.varint(req.Now)
+	}
+	return e.b
+}
+
+// DecodeRequest parses one request payload. It is strict: unknown verbs,
+// truncated bodies and trailing bytes are all errors.
+func DecodeRequest(payload []byte) (*Request, error) {
+	line, body, err := splitHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.Split(line, " ")
+	if len(parts) != 3 || parts[0] != "HWSH/1" {
+		return nil, frameErr("bad request header %q", line)
+	}
+	seq, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return nil, frameErr("bad seq %q", parts[1])
+	}
+	verb := parts[2]
+	if !knownVerb(verb) {
+		return nil, frameErr("unknown verb %q", verb)
+	}
+	req := &Request{Seq: seq, Verb: verb}
+	d := &dec{b: body}
+	switch verb {
+	case VerbAssign, VerbDrain, VerbCordon, VerbUncordon:
+		if req.ID, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+	case VerbStep:
+		if req.DT, err = d.float(); err != nil {
+			return nil, err
+		}
+	case VerbSync:
+		if req.Now, err = d.varint(); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// ------------------------------------------------------------- response
+
+// maxErrLen clamps ERR header messages so a response header always fits
+// the splitHeader bound.
+const maxErrLen = 400
+
+// EncodeResponse serializes one response payload. ERR responses carry
+// only the header; OK responses echo the verb and append the verb's
+// body.
+func EncodeResponse(resp *Response) []byte {
+	seq := strconv.FormatUint(resp.Seq, 10)
+	if resp.Err != "" {
+		// Sanitize byte-wise (no rune decoding): the message must never
+		// contain a newline, and byte-level clamping keeps re-encoding a
+		// decoded message byte-identical — the codec's canonical-form
+		// property, which the fuzzer checks.
+		raw := []byte(resp.Err)
+		if len(raw) > maxErrLen {
+			raw = raw[:maxErrLen]
+		}
+		for i, b := range raw {
+			if b == '\n' || b == '\r' {
+				raw[i] = ' '
+			}
+		}
+		return appendHeader(nil, seq, "ERR", string(raw))
+	}
+	e := &enc{b: appendHeader(nil, seq, "OK", resp.Verb)}
+	switch resp.Verb {
+	case VerbDrain:
+		e.bool(resp.OK)
+		encodeBatch(e, resp.Batch)
+	case VerbCordon, VerbUncordon:
+		e.bool(resp.OK)
+	case VerbSync:
+		encodeBatch(e, resp.Batch)
+	case VerbStats:
+		encodeStats(e, resp.Stats)
+	case VerbTrace:
+		encodeSnapshot(e, resp.Snap)
+	case VerbResync:
+		b := resp.Committed
+		if b == nil {
+			b = &Books{}
+		}
+		e.uvarint(b.Seq)
+		e.uvarint(b.SentRows)
+		e.uvarint(b.SentLost)
+	}
+	return e.b
+}
+
+// DecodeResponse parses one response payload, as strict as
+// DecodeRequest.
+func DecodeResponse(payload []byte) (*Response, error) {
+	line, body, err := splitHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 4)
+	if len(parts) < 3 || parts[0] != "HWSH/1" {
+		return nil, frameErr("bad response header %q", line)
+	}
+	seq, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return nil, frameErr("bad seq %q", parts[1])
+	}
+	switch parts[2] {
+	case "ERR":
+		msg := ""
+		if len(parts) == 4 {
+			msg = parts[3]
+		}
+		if msg == "" {
+			msg = "unspecified error"
+		}
+		if len(body) != 0 {
+			return nil, frameErr("ERR response with %d body bytes", len(body))
+		}
+		return &Response{Seq: seq, Err: msg}, nil
+	case "OK":
+		if len(parts) != 4 {
+			return nil, frameErr("OK response without verb")
+		}
+	default:
+		return nil, frameErr("bad response status %q", parts[2])
+	}
+	verb := parts[3]
+	if !knownVerb(verb) {
+		return nil, frameErr("unknown verb %q", verb)
+	}
+	resp := &Response{Seq: seq, Verb: verb}
+	d := &dec{b: body}
+	switch verb {
+	case VerbDrain:
+		if resp.OK, err = d.bool(); err != nil {
+			return nil, err
+		}
+		if resp.Batch, err = decodeBatch(d); err != nil {
+			return nil, err
+		}
+	case VerbCordon, VerbUncordon:
+		if resp.OK, err = d.bool(); err != nil {
+			return nil, err
+		}
+	case VerbSync:
+		if resp.Batch, err = decodeBatch(d); err != nil {
+			return nil, err
+		}
+	case VerbStats:
+		if resp.Stats, err = decodeStats(d); err != nil {
+			return nil, err
+		}
+	case VerbTrace:
+		if resp.Snap, err = decodeSnapshot(d); err != nil {
+			return nil, err
+		}
+	case VerbResync:
+		b := &Books{}
+		if b.Seq, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if b.SentRows, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if b.SentLost, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		resp.Committed = b
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// ------------------------------------------------------------- batches
+
+func encodeBatch(e *enc, b *Batch) {
+	if b == nil {
+		b = &Batch{}
+	}
+	e.uvarint(b.Seq)
+	e.uvarint(b.SentRows)
+	e.uvarint(b.SentLost)
+	e.uvarint(uint64(len(b.Deltas)))
+	for _, d := range b.Deltas {
+		encodeDelta(e, d)
+	}
+}
+
+func decodeBatch(d *dec) (*Batch, error) {
+	b := &Batch{}
+	var err error
+	if b.Seq, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if b.SentRows, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if b.SentLost, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	n, err := d.count(4) // home + table len + lost + row count, one byte each minimum
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		b.Deltas = make([]telemetry.Delta, 0, n)
+		for i := 0; i < n; i++ {
+			delta, err := decodeDelta(d)
+			if err != nil {
+				return nil, err
+			}
+			b.Deltas = append(b.Deltas, delta)
+		}
+	}
+	return b, nil
+}
+
+func encodeDelta(e *enc, d telemetry.Delta) {
+	e.uvarint(d.Source.Home)
+	e.str(d.Source.Table)
+	e.uvarint(d.Lost)
+	e.uvarint(uint64(len(d.Rows)))
+	for _, r := range d.Rows {
+		e.varint(r.TS.UnixNano())
+		e.uvarint(uint64(len(r.Vals)))
+		for _, v := range r.Vals {
+			e.byte(byte(v.Type))
+			switch v.Type {
+			case hwdb.TReal:
+				e.float(v.Real)
+			case hwdb.TString:
+				e.str(v.Str)
+			default: // TInt, TBool, TMAC, TIP, TTime: all live in Int
+				e.varint(v.Int)
+			}
+		}
+	}
+}
+
+func decodeDelta(d *dec) (telemetry.Delta, error) {
+	var out telemetry.Delta
+	var err error
+	if out.Source.Home, err = d.uvarint(); err != nil {
+		return out, err
+	}
+	if out.Source.Table, err = d.str(); err != nil {
+		return out, err
+	}
+	if out.Lost, err = d.uvarint(); err != nil {
+		return out, err
+	}
+	nrows, err := d.count(2) // ts + val count, one byte each minimum
+	if err != nil {
+		return out, err
+	}
+	if nrows > 0 {
+		out.Rows = make([]hwdb.Row, 0, nrows)
+	}
+	for i := 0; i < nrows; i++ {
+		var row hwdb.Row
+		ns, err := d.varint()
+		if err != nil {
+			return out, err
+		}
+		row.TS = time.Unix(0, ns).UTC()
+		nvals, err := d.count(2) // type tag + one varint byte minimum
+		if err != nil {
+			return out, err
+		}
+		if nvals > 0 {
+			row.Vals = make([]hwdb.Value, 0, nvals)
+		}
+		for j := 0; j < nvals; j++ {
+			tag, err := d.byte()
+			if err != nil {
+				return out, err
+			}
+			v := hwdb.Value{Type: hwdb.ColType(tag)}
+			switch v.Type {
+			case hwdb.TReal:
+				if v.Real, err = d.float(); err != nil {
+					return out, err
+				}
+			case hwdb.TString:
+				if v.Str, err = d.str(); err != nil {
+					return out, err
+				}
+			case hwdb.TInt, hwdb.TBool, hwdb.TMAC, hwdb.TIP, hwdb.TTime:
+				if v.Int, err = d.varint(); err != nil {
+					return out, err
+				}
+			default:
+				return out, frameErr("bad column type tag %d", tag)
+			}
+			row.Vals = append(row.Vals, v)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// ------------------------------------------------------------- stats
+
+func encodeStats(e *enc, st *engine.Stats) {
+	if st == nil {
+		st = &engine.Stats{}
+	}
+	e.varint(int64(st.Shard))
+	e.varint(int64(st.Homes))
+	e.uvarint(st.Steps)
+	e.varint(int64(st.Hub.Sources))
+	e.uvarint(st.Hub.Delivered)
+	e.uvarint(st.Hub.Lost)
+	t := st.Totals
+	e.varint(int64(t.Homes))
+	e.varint(int64(t.Hosts))
+	for _, v := range []uint64{
+		t.Flows, t.Links, t.Leases, t.Packets, t.Bytes, t.Lost, t.Rows,
+		t.Commits, t.PerfRows, t.TxPkts, t.LostPkts, t.Installs, t.InstallUSSum,
+	} {
+		e.uvarint(v)
+	}
+}
+
+func decodeStats(d *dec) (*engine.Stats, error) {
+	st := &engine.Stats{}
+	var err error
+	var i int64
+	if i, err = d.varint(); err != nil {
+		return nil, err
+	}
+	st.Shard = int(i)
+	if i, err = d.varint(); err != nil {
+		return nil, err
+	}
+	st.Homes = int(i)
+	if st.Steps, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if i, err = d.varint(); err != nil {
+		return nil, err
+	}
+	st.Hub.Sources = int(i)
+	if st.Hub.Delivered, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if st.Hub.Lost, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	t := &st.Totals
+	if i, err = d.varint(); err != nil {
+		return nil, err
+	}
+	t.Homes = int(i)
+	if i, err = d.varint(); err != nil {
+		return nil, err
+	}
+	t.Hosts = int(i)
+	for _, p := range []*uint64{
+		&t.Flows, &t.Links, &t.Leases, &t.Packets, &t.Bytes, &t.Lost, &t.Rows,
+		&t.Commits, &t.PerfRows, &t.TxPkts, &t.LostPkts, &t.Installs, &t.InstallUSSum,
+	} {
+		if *p, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// ------------------------------------------------------------- traces
+
+func encodeSnapshot(e *enc, s *trace.Snapshot) {
+	if s == nil {
+		s = &trace.Snapshot{}
+	}
+	e.uvarint(uint64(len(s.Hists)))
+	for _, h := range s.Hists {
+		e.uvarint(h.Count)
+		e.uvarint(h.SumNS)
+		e.varint(h.MaxNS)
+		e.uvarint(uint64(len(h.Buckets)))
+		for _, b := range h.Buckets {
+			e.uvarint(b)
+		}
+	}
+	e.uvarint(s.Overwritten)
+}
+
+func decodeSnapshot(d *dec) (*trace.Snapshot, error) {
+	s := &trace.Snapshot{}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n != uint64(len(s.Hists)) {
+		return nil, frameErr("snapshot has %d histograms, want %d", n, len(s.Hists))
+	}
+	for i := range s.Hists {
+		h := &s.Hists[i]
+		if h.Count, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if h.SumNS, err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		if h.MaxNS, err = d.varint(); err != nil {
+			return nil, err
+		}
+		nb, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nb != uint64(len(h.Buckets)) {
+			return nil, frameErr("histogram has %d buckets, want %d", nb, len(h.Buckets))
+		}
+		for j := range h.Buckets {
+			if h.Buckets[j], err = d.uvarint(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if s.Overwritten, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

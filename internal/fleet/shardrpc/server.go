@@ -1,0 +1,329 @@
+package shardrpc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/fleet/engine"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Backend is the shard-side surface a server drives: the ShardClient
+// method set, implemented by *engine.Engine in every real worker and by
+// stubs in the protocol tests (a deliberately wedged Step, a counting
+// fake). It mirrors fleet.ShardClient verbatim; the fleet package
+// asserts both stay aligned (shardrpc cannot import fleet without a
+// cycle).
+type Backend interface {
+	Assign(id uint64) error
+	Drain(id uint64) bool
+	Cordon(id uint64) bool
+	Uncordon(id uint64) bool
+	Step(dt float64) error
+	Sync()
+	Stats() engine.Stats
+	TraceSnapshot() trace.Snapshot
+	Close()
+}
+
+var _ Backend = (*engine.Engine)(nil)
+
+// Config parameterizes a worker-side server.
+type Config struct {
+	// Backend handles the decoded calls; required.
+	Backend Backend
+	// Hub, when set, is the backend engine's telemetry hub: every delta
+	// it fans out is buffered and piggybacked on the next SYNC or DRAIN
+	// response. Without it the server answers calls but relays no
+	// telemetry.
+	Hub *telemetry.Hub
+	// Clock, when set to a *clock.Simulated, is advanced to the
+	// coordinator's SYNC timestamp before each flush, keeping remote
+	// timestamps identical to the in-process ordering.
+	Clock clock.Clock
+	// WriteTimeout bounds one response write so a dead peer cannot wedge
+	// the conn goroutine (default 30s).
+	WriteTimeout time.Duration
+}
+
+// Server serves the ShardClient contract for one engine over TCP. It
+// accepts any number of sequential or concurrent connections (a
+// coordinator reconnecting after a network fault just dials again), but
+// the telemetry commit books are server-global, so batches stay exactly
+// accounted across connection incarnations.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	accepted int
+	closed   bool
+
+	done     chan struct{}
+	doneOnce sync.Once
+	wg       sync.WaitGroup
+
+	// batchMu guards the pending buffer and the committed books, and
+	// serializes every batch-bearing response's snapshot → write → commit
+	// sequence: a batch is committed only after its response bytes were
+	// written, and rolled back (left pending) when the write fails.
+	batchMu sync.Mutex
+	pending []telemetry.Delta
+	books   Books
+}
+
+// NewServer wires a server to its backend; call Serve to listen. If
+// cfg.Hub is set the server subscribes to it immediately, so rows fanned
+// out before the first connection are buffered, not lost.
+func NewServer(cfg Config) *Server {
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
+	s := &Server{
+		cfg:   cfg,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+	if cfg.Hub != nil {
+		cfg.Hub.SubscribeFunc(s.enqueue)
+	}
+	return s
+}
+
+// enqueue buffers one hub delta for the next batch-bearing response. It
+// runs synchronously inside the hub's drain pass.
+func (s *Server) enqueue(d telemetry.Delta) {
+	s.batchMu.Lock()
+	s.pending = append(s.pending, d)
+	s.batchMu.Unlock()
+}
+
+// Serve starts listening on addr ("host:port"; ":0" picks a free port —
+// read it back with Addr) and accepts connections until Close.
+func (s *Server) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("shardrpc: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listen address, or "" before Serve.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Accepted returns how many connections the server has ever accepted —
+// the soak asserts a mid-run kill really forced a reconnect.
+func (s *Server) Accepted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.accepted
+}
+
+// Done is closed when a client's CLOSE verb has been served; a worker
+// process exits on it.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// DropConns severs every live connection without touching the listener —
+// the fault-injection hook the remote soak and churn gates use to force
+// a reconnect mid-run.
+func (s *Server) DropConns() {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Close stops the listener and severs every connection. It does not
+// close the backend: the owner decides whether the engine outlives its
+// network surface.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.DropConns()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.accepted++
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			// A malformed frame leaves the stream position untrustworthy:
+			// answer with seq 0 (the client never uses it) and drop the
+			// conn rather than guess at resynchronization.
+			resp := &Response{Seq: 0, Err: err.Error()}
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			writeFrame(conn, EncodeResponse(resp))
+			return
+		}
+		if err := s.handle(conn, req); err != nil {
+			return
+		}
+	}
+}
+
+// handle executes one request and writes its response. A returned error
+// means the connection is no longer usable.
+func (s *Server) handle(conn net.Conn, req *Request) error {
+	resp := &Response{Seq: req.Seq, Verb: req.Verb}
+	withBatch := false
+	switch req.Verb {
+	case VerbAssign:
+		if err := s.cfg.Backend.Assign(req.ID); err != nil {
+			resp.Err = err.Error()
+		}
+	case VerbDrain:
+		// The drain's final flush fans the home's remaining rows into the
+		// pending buffer; the batch on this response carries them out.
+		resp.OK = s.cfg.Backend.Drain(req.ID)
+		withBatch = true
+	case VerbCordon:
+		resp.OK = s.cfg.Backend.Cordon(req.ID)
+	case VerbUncordon:
+		resp.OK = s.cfg.Backend.Uncordon(req.ID)
+	case VerbStep:
+		if err := s.cfg.Backend.Step(req.DT); err != nil {
+			resp.Err = err.Error()
+		}
+	case VerbSync:
+		// Advance the worker clock to the coordinator's instant first:
+		// the in-process order is step barrier, clock advance, flush, and
+		// the flush stamps view rows with the clock.
+		if sim, ok := s.cfg.Clock.(*clock.Simulated); ok && req.Now != 0 {
+			if d := time.Unix(0, req.Now).Sub(sim.Now()); d > 0 {
+				sim.Advance(d)
+			}
+		}
+		s.cfg.Backend.Sync()
+		withBatch = true
+	case VerbStats:
+		st := s.cfg.Backend.Stats()
+		resp.Stats = &st
+	case VerbTrace:
+		snap := s.cfg.Backend.TraceSnapshot()
+		resp.Snap = &snap
+	case VerbResync:
+		s.batchMu.Lock()
+		books := s.books
+		s.batchMu.Unlock()
+		resp.Committed = &books
+	case VerbClose:
+		s.cfg.Backend.Close()
+		defer s.doneOnce.Do(func() { close(s.done) })
+	case VerbPing:
+		// Header-only liveness probe.
+	default:
+		resp.Err = fmt.Sprintf("unhandled verb %q", req.Verb)
+	}
+	if withBatch && resp.Err == "" {
+		return s.writeWithBatch(conn, resp)
+	}
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	return writeFrame(conn, EncodeResponse(resp))
+}
+
+// writeWithBatch snapshots the pending deltas onto resp, writes the
+// response and commits the batch only if the write succeeded. On a write
+// failure the deltas stay pending and the books unchanged, so the next
+// batch-bearing response (likely on a fresh connection, after the client
+// RESYNCs) re-carries them: a row is committed exactly once, and a row
+// the wire swallowed after commit is what RESYNC accounts as lost.
+func (s *Server) writeWithBatch(conn net.Conn, resp *Response) error {
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	n := len(s.pending)
+	var rows, lost uint64
+	for _, d := range s.pending[:n] {
+		rows += uint64(len(d.Rows))
+		lost += d.Lost
+	}
+	seq := s.books.Seq
+	if n > 0 {
+		seq++
+	}
+	resp.Batch = &Batch{
+		Seq:      seq,
+		SentRows: s.books.SentRows + rows,
+		SentLost: s.books.SentLost + lost,
+		Deltas:   s.pending[:n:n],
+	}
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	if err := writeFrame(conn, EncodeResponse(resp)); err != nil {
+		return err
+	}
+	if n > 0 {
+		s.books = Books{Seq: seq, SentRows: s.books.SentRows + rows, SentLost: s.books.SentLost + lost}
+		s.pending = append([]telemetry.Delta(nil), s.pending[n:]...)
+	}
+	return nil
+}

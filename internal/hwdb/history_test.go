@@ -52,10 +52,10 @@ func TestParseAsOfAndHistory(t *testing.T) {
 	}
 
 	for _, bad := range []string{
-		"SELECT * FROM Ticks AS OF 1234",       // missing @
-		"SELECT * FROM Ticks AS @1",            // AS without OF
+		"SELECT * FROM Ticks AS OF 1234",        // missing @
+		"SELECT * FROM Ticks AS @1",             // AS without OF
 		"SELECT * FROM Ticks HISTORY @200 @100", // reversed range
-		"SELECT * FROM Ticks HISTORY @100",     // missing upper bound
+		"SELECT * FROM Ticks HISTORY @100",      // missing upper bound
 	} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) succeeded, want error", bad)

@@ -24,7 +24,7 @@ type Federation struct {
 	folder *Folder
 
 	mu      sync.Mutex
-	members []*Hub
+	members []Member
 	// fns are the SubscribeFunc handlers registered so far; a hub
 	// attached later gets every one of them, so fleet-level consumers
 	// (the health monitor, the flight recorder) see replacement shards'
@@ -41,14 +41,19 @@ func NewFederation(cfg FolderConfig) *Federation {
 // Attach adds a member hub: every delta the hub drains from here on is
 // folded into the global view. Attach before the hub's first flush, or
 // earlier rows will be visible only in the member's own accounting.
-func (fd *Federation) Attach(hub *Hub) {
+func (fd *Federation) Attach(hub *Hub) { fd.AttachMember(hub) }
+
+// AttachMember adds any telemetry member — an in-process shard hub or a
+// Relay mirroring a remote worker's hub — to the federation. Every delta
+// the member fans out from here on is folded into the global view.
+func (fd *Federation) AttachMember(m Member) {
 	fd.mu.Lock()
-	fd.members = append(fd.members, hub)
+	fd.members = append(fd.members, m)
 	fns := append([]func(Delta){}, fd.fns...)
 	fd.mu.Unlock()
-	hub.SubscribeFunc(fd.folder.consume)
+	m.SubscribeFunc(fd.folder.consume)
 	for _, fn := range fns {
-		hub.SubscribeFunc(fn)
+		m.SubscribeFunc(fn)
 	}
 }
 
@@ -82,7 +87,7 @@ func (fd *Federation) Commit() int { return fd.folder.Commit() }
 // any member has finished draining.
 func (fd *Federation) Stats() HubStats {
 	fd.mu.Lock()
-	members := append([]*Hub(nil), fd.members...)
+	members := append([]Member(nil), fd.members...)
 	fd.mu.Unlock()
 	var st HubStats
 	for _, h := range members {
@@ -104,11 +109,11 @@ func (fd *Federation) Subscribe(buf int) *Subscription {
 		buf = 64
 	}
 	fd.mu.Lock()
-	members := append([]*Hub(nil), fd.members...)
+	members := append([]Member(nil), fd.members...)
 	fd.mu.Unlock()
-	sub := &Subscription{hubs: members, ch: make(chan Delta, buf)}
-	for _, h := range members {
-		h.addSub(sub)
+	sub := &Subscription{members: members, ch: make(chan Delta, buf)}
+	for _, m := range members {
+		m.addSub(sub)
 	}
 	return sub
 }
@@ -119,10 +124,10 @@ func (fd *Federation) Subscribe(buf int) *Subscription {
 // so the handler needs no shard disambiguation.
 func (fd *Federation) SubscribeFunc(fn func(Delta)) {
 	fd.mu.Lock()
-	members := append([]*Hub(nil), fd.members...)
+	members := append([]Member(nil), fd.members...)
 	fd.fns = append(fd.fns, fn)
 	fd.mu.Unlock()
-	for _, h := range members {
-		h.SubscribeFunc(fn)
+	for _, m := range members {
+		m.SubscribeFunc(fn)
 	}
 }

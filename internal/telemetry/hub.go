@@ -195,7 +195,7 @@ func (h *Hub) Subscribe(buf int) *Subscription {
 	if buf <= 0 {
 		buf = 64
 	}
-	sub := &Subscription{hubs: []*Hub{h}, ch: make(chan Delta, buf)}
+	sub := &Subscription{members: []Member{h}, ch: make(chan Delta, buf)}
 	h.addSub(sub)
 	return sub
 }
@@ -207,6 +207,18 @@ func (h *Hub) addSub(sub *Subscription) {
 	h.mu.Lock()
 	if !h.closed {
 		h.subs = append(h.subs, sub)
+	}
+	h.mu.Unlock()
+}
+
+// removeSub detaches one subscription from this hub's fan-out.
+func (h *Hub) removeSub(sub *Subscription) {
+	h.mu.Lock()
+	for i, s := range h.subs {
+		if s == sub {
+			h.subs = append(append([]*Subscription(nil), h.subs[:i]...), h.subs[i+1:]...)
+			break
+		}
 	}
 	h.mu.Unlock()
 }
@@ -341,11 +353,12 @@ func (h *Hub) drainSource(s *source, force bool) {
 }
 
 // Subscription is one channel consumer of one hub or (through a
-// Federation) several: the channel, the loss accounting and the drop
-// books are shared across every hub the subscription is attached to.
+// Federation) several members — in-process hubs and remote-shard relays
+// alike: the channel, the loss accounting and the drop books are shared
+// across every member the subscription is attached to.
 type Subscription struct {
-	hubs []*Hub
-	ch   chan Delta
+	members []Member
+	ch      chan Delta
 
 	pendingLost atomic.Uint64 // loss not yet reported in-band
 	dropped     atomic.Uint64 // rows dropped at this subscriber's buffer
@@ -368,22 +381,15 @@ func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
 // rows fanned out to this subscriber plus their ring-wrap losses.
 func (s *Subscription) PendingLost() uint64 { return s.pendingLost.Load() }
 
-// Close detaches the subscription from every hub it is attached to; no
-// further deltas are delivered. The channel is left open (draining
+// Close detaches the subscription from every member it is attached to;
+// no further deltas are delivered. The channel is left open (draining
 // buffered deltas is fine).
 func (s *Subscription) Close() {
 	if s.closed.Swap(true) {
 		return
 	}
-	for _, h := range s.hubs {
-		h.mu.Lock()
-		for i, sub := range h.subs {
-			if sub == s {
-				h.subs = append(append([]*Subscription(nil), h.subs[:i]...), h.subs[i+1:]...)
-				break
-			}
-		}
-		h.mu.Unlock()
+	for _, m := range s.members {
+		m.removeSub(s)
 	}
 }
 

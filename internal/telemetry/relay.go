@@ -1,0 +1,124 @@
+package telemetry
+
+import "sync"
+
+// Member is the federation's view of one telemetry source: an in-process
+// shard hub, or a Relay fed by a remote shard's delta stream. Both fan
+// deltas to synchronous handlers and channel subscriptions and keep the
+// same cumulative Delivered/Lost books, so federated accounting composes
+// identically whether a shard lives in this process or behind a socket.
+// The interface is sealed (unexported subscription hooks): implementations
+// live in this package so the loss-accounting contract stays auditable in
+// one place.
+type Member interface {
+	// SubscribeFunc registers a synchronous handler called for every
+	// delta in fan-out order.
+	SubscribeFunc(fn func(Delta))
+	// Stats returns the member's cumulative delivery/loss accounting.
+	Stats() HubStats
+
+	addSub(sub *Subscription)
+	removeSub(sub *Subscription)
+}
+
+var (
+	_ Member = (*Hub)(nil)
+	_ Member = (*Relay)(nil)
+)
+
+// Relay is the coordinator-side image of a remote shard's telemetry hub:
+// the shardrpc client ingests each delta batch the worker piggybacks on
+// its Sync/Drain responses, and the relay fans the deltas to the same
+// consumers an in-process hub would — the federation's global folder and
+// any fleet-spanning subscriptions — while keeping its own cumulative
+// books. Rows the wire lost (a connection died after the worker committed
+// a batch the coordinator never read) are reconciled on reconnect via
+// AccountLost, so Delivered+Lost still equals every row the worker's hub
+// ever fanned out: the exact-accounting invariant survives the process
+// boundary.
+//
+// Concurrency: Ingest is called by one shardrpc client at a time (the
+// client serializes its RPCs), but reads (Stats) and subscription churn
+// are safe from any goroutine.
+type Relay struct {
+	mu        sync.Mutex
+	fns       []func(Delta)
+	subs      []*Subscription
+	delivered uint64
+	lost      uint64
+	sources   map[SourceID]struct{}
+}
+
+// NewRelay builds an empty relay; attach it to a Federation with
+// AttachMember and feed it from a remote delta stream with Ingest.
+func NewRelay() *Relay {
+	return &Relay{sources: make(map[SourceID]struct{})}
+}
+
+// Ingest folds one remote delta into the local fan-out: handlers and
+// subscribers see it exactly as they would a delta drained from an
+// in-process hub, and the relay's books absorb its row count and its
+// in-band Lost.
+func (r *Relay) Ingest(d Delta) {
+	r.mu.Lock()
+	r.delivered += uint64(len(d.Rows))
+	r.lost += d.Lost
+	r.sources[d.Source] = struct{}{}
+	fns, subs := r.fns, r.subs
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn(d)
+	}
+	for _, sub := range subs {
+		sub.deliver(d)
+	}
+}
+
+// AccountLost records rows the remote side fanned out but the wire never
+// delivered here — batches committed by the worker while the connection
+// was down. The shardrpc client calls it when a reconnect's book
+// reconciliation finds the gap; the rows are gone (the worker does not
+// retransmit committed batches) but never uncounted.
+func (r *Relay) AccountLost(rows uint64) {
+	if rows == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.lost += rows
+	r.mu.Unlock()
+}
+
+// Stats returns the relay's cumulative accounting. Sources counts the
+// distinct (home, table) streams ever seen; Delivered+Lost equals every
+// row the remote hub fanned out toward this coordinator, once the client
+// has reconciled (it does so on every reconnect).
+func (r *Relay) Stats() HubStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return HubStats{Sources: len(r.sources), Delivered: r.delivered, Lost: r.lost}
+}
+
+// SubscribeFunc registers a synchronous handler called inside Ingest for
+// every relayed delta, in arrival order.
+func (r *Relay) SubscribeFunc(fn func(Delta)) {
+	r.mu.Lock()
+	r.fns = append(r.fns, fn)
+	r.mu.Unlock()
+}
+
+func (r *Relay) addSub(sub *Subscription) {
+	r.mu.Lock()
+	r.subs = append(r.subs, sub)
+	r.mu.Unlock()
+}
+
+func (r *Relay) removeSub(sub *Subscription) {
+	r.mu.Lock()
+	for i, s := range r.subs {
+		if s == sub {
+			r.subs = append(append([]*Subscription(nil), r.subs[:i]...), r.subs[i+1:]...)
+			break
+		}
+	}
+	r.mu.Unlock()
+}
